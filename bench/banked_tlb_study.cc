@@ -1,0 +1,62 @@
+/**
+ * @file
+ * §3.2 "Discussion of Conventional Mechanisms": would a multi-banked
+ * shared IOMMU TLB solve the bandwidth problem instead?  The paper
+ * argues no — bank selection uses higher-order address bits, so the
+ * clustered footprints of some high-demand workloads (mis, color_max)
+ * conflict frequently, limiting the effective bandwidth — and banking
+ * still costs interconnect/arbitration complexity.
+ *
+ * This study sweeps bank counts on the baseline and compares against
+ * the virtual-cache filter.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace gvc;
+using namespace gvc::bench;
+
+int
+main()
+{
+    banner("banked shared TLB (§3.2)",
+           "banking the IOMMU TLB vs filtering with virtual caches");
+
+    const char *names[] = {"mis", "color_max", "pagerank_spmv",
+                           "pagerank"};
+
+    TextTable table({"workload", "banks", "bank conflicts",
+                     "mean queue delay", "exec cycles"});
+    for (const char *name : names) {
+        for (const unsigned banks : {1u, 2u, 4u, 8u}) {
+            RunConfig cfg = baseConfig();
+            cfg.design = MmuDesign::kBaseline16K;
+            cfg.soc.iommu.banks = banks;
+            std::uint64_t conflicts = 0;
+            const RunResult r = runWorkload(
+                name, cfg,
+                [&](SystemUnderTest &sut, Gpu &, SimContext &) {
+                    conflicts = sut.iommu()->bankConflicts();
+                });
+            table.addRow({name, std::to_string(banks),
+                          std::to_string(conflicts),
+                          TextTable::fmt(r.iommu_serialization_mean, 1),
+                          std::to_string(r.exec_ticks)});
+        }
+        RunConfig cfg = baseConfig();
+        cfg.design = MmuDesign::kVcOpt;
+        const RunResult vc = runWorkload(name, cfg);
+        table.addRow({name, "VC filter", "-",
+                      TextTable::fmt(vc.iommu_serialization_mean, 1),
+                      std::to_string(vc.exec_ticks)});
+    }
+    table.print();
+
+    std::printf("\nBanking helps while conflicts are rare, but high-"
+                "order-bit bank selection\nkeeps hot pages in the same "
+                "bank; the virtual-cache filter removes the\ntraffic "
+                "instead of widening the structure (§3.2-§3.3).\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared bench-harness plumbing: environment-variable knobs so every
+ * figure bench can be scaled or restricted without rebuilding.
+ *
+ *   GVC_SCALE      workload scale factor (default 0.5)
+ *   GVC_WORKLOADS  comma-separated subset of workload names
+ *   GVC_SEED       workload RNG seed
+ */
+
+#ifndef GVC_BENCH_BENCH_COMMON_HH
+#define GVC_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "workloads/registry.hh"
+
+namespace gvc::bench
+{
+
+inline double
+envScale()
+{
+    if (const char *s = std::getenv("GVC_SCALE"))
+        return std::atof(s);
+    return 0.5;
+}
+
+inline std::uint64_t
+envSeed()
+{
+    if (const char *s = std::getenv("GVC_SEED"))
+        return std::strtoull(s, nullptr, 10);
+    return 0x5eed;
+}
+
+/** Workloads to run: GVC_WORKLOADS subset or the paper's full list. */
+inline std::vector<std::string>
+envWorkloads(const std::vector<std::string> &defaults)
+{
+    const char *s = std::getenv("GVC_WORKLOADS");
+    if (!s)
+        return defaults;
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out.empty() ? defaults : out;
+}
+
+/** Base run configuration shared by the figure benches. */
+inline RunConfig
+baseConfig()
+{
+    RunConfig cfg;
+    cfg.workload.scale = envScale();
+    cfg.workload.seed = envSeed();
+    return cfg;
+}
+
+inline void
+banner(const char *fig, const char *what)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s — %s\n", fig, what);
+    std::printf("workload scale %.2f (GVC_SCALE), seed %llu (GVC_SEED)\n",
+                envScale(), (unsigned long long)envSeed());
+    std::printf("================================================="
+                "=============\n\n");
+}
+
+} // namespace gvc::bench
+
+#endif // GVC_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Takeaway 3 (§5.3): the paper expects — without quantifying — energy
+ * benefits from (i) not consulting per-CU TLBs on every access, (ii) a
+ * less-busy IOMMU, and (iii) fewer page walks.  This extension
+ * quantifies translation energy from event counts using illustrative
+ * per-event energies (harness/energy.hh); relative numbers are the
+ * takeaway, not the absolute joules.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "harness/energy.hh"
+
+using namespace gvc;
+using namespace gvc::bench;
+
+int
+main()
+{
+    banner("energy (Takeaway 3)",
+           "translation energy: baseline vs L1-only VC vs full VC");
+
+    TextTable table({"workload", "baseline (nJ)", "L1-only VC (nJ)",
+                     "full VC (nJ)", "VC saving"});
+
+    double base_sum = 0, l1vc_sum = 0, vc_sum = 0;
+    for (const auto &name : envWorkloads(allWorkloadNames())) {
+        RunConfig cfg = baseConfig();
+
+        cfg.design = MmuDesign::kBaseline16K;
+        const auto e_base =
+            estimateEnergy(runWorkload(name, cfg)).translation_nj;
+        cfg.design = MmuDesign::kL1Vc32;
+        const auto e_l1 =
+            estimateEnergy(runWorkload(name, cfg)).translation_nj;
+        cfg.design = MmuDesign::kVcOpt;
+        const auto e_vc =
+            estimateEnergy(runWorkload(name, cfg)).translation_nj;
+
+        table.addRow({name, TextTable::fmt(e_base, 1),
+                      TextTable::fmt(e_l1, 1), TextTable::fmt(e_vc, 1),
+                      TextTable::pct(1.0 - e_vc / e_base)});
+        base_sum += e_base;
+        l1vc_sum += e_l1;
+        vc_sum += e_vc;
+    }
+    table.print();
+
+    std::printf("\nTotals: baseline %.0f nJ, L1-only VC %.0f nJ "
+                "(%.0f%% saved), full VC %.0f nJ (%.0f%% saved)\n",
+                base_sum, l1vc_sum, 100.0 * (1 - l1vc_sum / base_sum),
+                vc_sum, 100.0 * (1 - vc_sum / base_sum));
+    std::printf("The full hierarchy removes the per-CU TLBs entirely "
+                "and touches the shared\ntranslation structures only "
+                "on L2 misses — fewer accesses to every structure\n"
+                "(§5.3/§5.4).\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 5: serialization overhead vs. shared IOMMU TLB peak bandwidth.
+ *
+ * High-translation-bandwidth workloads, 16K-entry IOMMU TLB, port rate
+ * swept from 1 to 4 accesses/cycle.  Paper: overhead shrinks with
+ * bandwidth but even 4 accesses/cycle leaves a residual — and such a
+ * port is impractical to build — motivating filtering instead.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace gvc;
+using namespace gvc::bench;
+
+int
+main()
+{
+    banner("Figure 5",
+           "IOMMU TLB bandwidth sweep (high-BW workloads, 16K TLB)");
+
+    const auto names = envWorkloads(highBandwidthWorkloadNames());
+
+    // IDEAL per workload.
+    std::vector<double> ideal;
+    for (const auto &name : names) {
+        RunConfig cfg = baseConfig();
+        cfg.design = MmuDesign::kIdeal;
+        ideal.push_back(double(runWorkload(name, cfg).exec_ticks));
+    }
+
+    TextTable table({"peak BW (acc/cycle)", "relative exec time",
+                     "serialization overhead"});
+
+    double nobw_total = 0.0, ideal_total = 0.0;
+    for (std::size_t i = 0; i < names.size(); ++i)
+        ideal_total += ideal[i];
+
+    // Unlimited bandwidth = pure PTW overhead reference.
+    {
+        double total = 0.0;
+        for (const auto &name : names) {
+            RunConfig cfg = baseConfig();
+            cfg.design = MmuDesign::kBaseline16K;
+            cfg.soc.iommu.unlimited_bw = true;
+            total += double(runWorkload(name, cfg).exec_ticks);
+        }
+        nobw_total = total;
+    }
+
+    for (const double bw : {1.0, 2.0, 3.0, 4.0}) {
+        double total = 0.0;
+        for (const auto &name : names) {
+            RunConfig cfg = baseConfig();
+            cfg.design = MmuDesign::kBaseline16K;
+            cfg.soc.iommu.accesses_per_cycle = bw;
+            total += double(runWorkload(name, cfg).exec_ticks);
+        }
+        table.addRow({TextTable::fmt(bw, 0),
+                      TextTable::pct(total / ideal_total, 0),
+                      TextTable::pct((total - nobw_total) / ideal_total,
+                                     0)});
+    }
+    table.addRow({"infinite", TextTable::pct(nobw_total / ideal_total, 0),
+                  "0%"});
+    table.print();
+
+    std::printf("\nPaper Figure 5: serialization overhead falls from "
+                "~80%% at 1 access/cycle\nto ~4%% at 4 accesses/cycle "
+                "over the IDEAL MMU.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Sensitivity studies on the two levers the paper's motivation leans
+ * on:
+ *
+ *  1. Input structure (§3.1, §3.2 "large pages do not help workloads
+ *     with poor locality"): the same PageRank kernel over an R-MAT
+ *     graph, a uniform random graph, and a regular 2D mesh — locality
+ *     rises from left to right, translation pressure falls, and the
+ *     virtual cache's filtering benefit shrinks accordingly.
+ *
+ *  2. Warp scheduling (cf. Pichai et al. [33], who study its effect on
+ *     GPU MMUs): round-robin vs greedy-then-oldest on the baseline —
+ *     GTO keeps one warp's page working set hot in the per-CU TLB.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace gvc;
+using namespace gvc::bench;
+
+int
+main()
+{
+    banner("locality & scheduling studies",
+           "graph topology and warp-scheduler sensitivity");
+
+    std::printf("-- 1. Graph topology: pagerank --\n");
+    {
+        struct Kind
+        {
+            const char *label;
+            GraphKind kind;
+        };
+        const Kind kinds[] = {{"R-MAT", GraphKind::kRmat},
+                              {"uniform", GraphKind::kUniform},
+                              {"grid", GraphKind::kGrid}};
+        TextTable t({"graph", "lines/mem-inst", "TLB miss (base)",
+                     "IOMMU acc/cyc (base)", "VC speedup over base"});
+        for (const auto &k : kinds) {
+            RunConfig cfg = baseConfig();
+            cfg.workload.graph = k.kind;
+            // The 16K-entry baseline: a 512-entry shared TLB would add
+            // capacity thrash for the grid's cyclic sweep, confounding
+            // the locality signal this study isolates.
+            cfg.design = MmuDesign::kBaseline16K;
+            const RunResult base = runWorkload("pagerank", cfg);
+            cfg.design = MmuDesign::kVcOpt;
+            const RunResult vc = runWorkload("pagerank", cfg);
+            t.addRow({k.label,
+                      TextTable::fmt(base.lines_per_mem_inst, 1),
+                      TextTable::pct(base.tlb_miss_ratio),
+                      TextTable::fmt(base.iommu_apc_mean),
+                      TextTable::fmt(double(base.exec_ticks) /
+                                         double(vc.exec_ticks), 2) +
+                          "x"});
+        }
+        t.print();
+        std::printf("Divergence (lines/inst) falls with regular "
+                    "topology, but cyclic sweeps still\ndefeat LRU in "
+                    "32-entry per-CU TLBs; the caches cover both "
+                    "failure modes, so the\nvirtual hierarchy's benefit "
+                    "tracks the baseline's TLB miss pressure.\n\n");
+    }
+
+    std::printf("-- 2. Warp scheduler: baseline 512 --\n");
+    {
+        TextTable t({"workload", "policy", "TLB miss", "IOMMU acc/cyc",
+                     "exec cycles"});
+        for (const char *name : {"pagerank", "bfs", "kmeans"}) {
+            for (const bool gto : {false, true}) {
+                RunConfig cfg = baseConfig();
+                cfg.design = MmuDesign::kBaseline512;
+                cfg.soc.gpu.sched =
+                    gto ? WarpSchedPolicy::kGreedyThenOldest
+                        : WarpSchedPolicy::kRoundRobin;
+                const RunResult r = runWorkload(name, cfg);
+                t.addRow({name, gto ? "greedy-then-oldest"
+                                    : "round-robin",
+                          TextTable::pct(r.tlb_miss_ratio),
+                          TextTable::fmt(r.iommu_apc_mean),
+                          std::to_string(r.exec_ticks)});
+            }
+        }
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Smoke sweep: run every workload under one cheap design and print the
+ * per-workload activity summary.  Useful for sanity-checking workload
+ * generators and timing the suite; not tied to a paper figure.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace gvc;
+using namespace gvc::bench;
+
+int
+main()
+{
+    banner("smoke", "all workloads under Baseline 512");
+
+    TextTable table({"workload", "exec cycles", "warp insts", "mem insts",
+                     "lines/inst", "TLB miss", "L1 hit", "L2 hit",
+                     "wall (s)"});
+
+    RunConfig cfg = baseConfig();
+    cfg.design = MmuDesign::kBaseline512;
+
+    for (const auto &name : envWorkloads(allWorkloadNames())) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const RunResult r = runWorkload(name, cfg);
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        table.addRow({r.workload, std::to_string(r.exec_ticks),
+                      std::to_string(r.instructions),
+                      std::to_string(r.mem_instructions),
+                      TextTable::fmt(r.lines_per_mem_inst, 2),
+                      TextTable::pct(r.tlb_miss_ratio),
+                      TextTable::pct(r.l1_hit_ratio),
+                      TextTable::pct(r.l2_hit_ratio),
+                      TextTable::fmt(wall, 2)});
+    }
+    table.print();
+    return 0;
+}

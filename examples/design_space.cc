@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Design-space exploration with the public API: sweep the structures a
+ * GPU architect would size — per-CU TLB entries for the baseline, FBT
+ * capacity for the virtual hierarchy, and shared-TLB bandwidth — on one
+ * representative high-divergence workload.
+ *
+ *   ./build/examples/design_space [workload] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+using namespace gvc;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "pagerank";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+    std::printf("gvc design space: %s (scale %.2f)\n\n", workload.c_str(),
+                scale);
+
+    RunConfig ideal;
+    ideal.design = MmuDesign::kIdeal;
+    ideal.workload.scale = scale;
+    const double t_ideal =
+        double(runWorkload(workload, ideal).exec_ticks);
+
+    std::printf("-- Baseline: per-CU TLB size sweep (16K IOMMU TLB) --\n");
+    {
+        TextTable t({"per-CU TLB", "miss ratio", "perf vs IDEAL"});
+        for (const unsigned entries : {16u, 32u, 64u, 128u, 256u}) {
+            RunConfig cfg;
+            cfg.design = MmuDesign::kBaseline16K;
+            cfg.raw_soc = true;
+            cfg.workload.scale = scale;
+            cfg.soc.percu_tlb_entries = entries;
+            cfg.soc.iommu.tlb_entries = 16 * 1024;
+            const RunResult r = runWorkload(workload, cfg);
+            t.addRow({std::to_string(entries),
+                      TextTable::pct(r.tlb_miss_ratio),
+                      TextTable::fmt(t_ideal / double(r.exec_ticks),
+                                     2)});
+        }
+        t.print();
+    }
+
+    std::printf("\n-- Baseline: shared TLB bandwidth sweep (32-entry "
+                "per-CU TLBs) --\n");
+    {
+        TextTable t({"accesses/cycle", "mean queue delay", "perf vs "
+                                                           "IDEAL"});
+        for (const double bw : {1.0, 2.0, 4.0, 8.0}) {
+            RunConfig cfg;
+            cfg.design = MmuDesign::kBaseline16K;
+            cfg.workload.scale = scale;
+            cfg.soc.iommu.accesses_per_cycle = bw;
+            const RunResult r = runWorkload(workload, cfg);
+            t.addRow({TextTable::fmt(bw, 0),
+                      TextTable::fmt(r.iommu_serialization_mean, 1),
+                      TextTable::fmt(t_ideal / double(r.exec_ticks),
+                                     2)});
+        }
+        t.print();
+    }
+
+    std::printf("\n-- Virtual hierarchy: FBT capacity sweep --\n");
+    {
+        TextTable t({"FBT entries", "FBT purges", "resident pages",
+                     "perf vs IDEAL"});
+        for (const unsigned entries :
+             {128u, 256u, 512u, 1024u, 16384u}) {
+            RunConfig cfg;
+            cfg.design = MmuDesign::kVcOpt;
+            cfg.raw_soc = true;
+            cfg.workload.scale = scale;
+            cfg.soc.iommu.tlb_entries = 512;
+            cfg.soc.fbt_as_second_level_tlb = true;
+            cfg.soc.fbt.entries = entries;
+            const RunResult r = runWorkload(workload, cfg);
+            t.addRow({std::to_string(entries),
+                      std::to_string(r.fbt_purges),
+                      std::to_string(r.fbt_valid_pages),
+                      TextTable::fmt(t_ideal / double(r.exec_ticks),
+                                     2)});
+        }
+        t.print();
+    }
+
+    std::printf("\nAn adequately provisioned FBT (§4.3: 16K entries "
+                "covers a unique page per L2\nline) eliminates "
+                "capacity purges; undersizing it turns FBT evictions "
+                "into cache\ninvalidations.\n");
+    return 0;
+}

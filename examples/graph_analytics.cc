@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Emerging-workload scenario from the paper's introduction: irregular
+ * graph analytics (PageRank, BFS, graph coloring, MIS) whose divergent
+ * scatter/gather accesses overwhelm shared translation hardware.
+ *
+ * Runs the graph suite under the baseline MMU and the proposed virtual
+ * cache hierarchy and reports, per workload, the per-CU TLB pressure,
+ * the shared IOMMU TLB demand, and the end-to-end speedup of virtual
+ * caching.
+ *
+ *   ./build/examples/graph_analytics [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+using namespace gvc;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+    std::printf("gvc graph analytics: irregular workloads, baseline vs "
+                "virtual caching (scale %.2f)\n\n", scale);
+
+    const char *graph_workloads[] = {"pagerank", "pagerank_spmv", "bfs",
+                                     "color_max", "mis", "bc"};
+
+    TextTable table({"workload", "lines/mem-inst", "TLB miss (base)",
+                     "IOMMU acc/cyc (base)", "IOMMU acc/cyc (VC)",
+                     "VC speedup"});
+
+    for (const char *name : graph_workloads) {
+        RunConfig cfg;
+        cfg.workload.scale = scale;
+
+        cfg.design = MmuDesign::kBaseline512;
+        const RunResult base = runWorkload(name, cfg);
+        cfg.design = MmuDesign::kVcOpt;
+        const RunResult vc = runWorkload(name, cfg);
+
+        table.addRow({name, TextTable::fmt(base.lines_per_mem_inst, 1),
+                      TextTable::pct(base.tlb_miss_ratio),
+                      TextTable::fmt(base.iommu_apc_mean),
+                      TextTable::fmt(vc.iommu_apc_mean),
+                      TextTable::fmt(double(base.exec_ticks) /
+                                     double(vc.exec_ticks), 2) + "x"});
+    }
+    table.print();
+
+    std::printf("\nDivergent neighbor gathers touch tens of pages per "
+                "instruction, so per-CU TLBs\nthrash and the shared "
+                "IOMMU TLB becomes the bottleneck.  The virtual cache\n"
+                "hierarchy serves those re-references from cached data "
+                "without translating.\n");
+    return 0;
+}

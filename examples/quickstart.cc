@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Quickstart: run one graph workload (pagerank) under the baseline
+ * physical-cache MMU and under the proposed virtual cache hierarchy,
+ * and print the headline comparison — execution time, shared IOMMU TLB
+ * pressure, and how much of it the virtual caches filtered.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+using namespace gvc;
+
+int
+main()
+{
+    std::printf("gvc quickstart: pagerank on an R-MAT graph, three MMU "
+                "designs\n\n");
+
+    RunConfig cfg;
+    cfg.workload.scale = 0.5; // keep the demo snappy
+
+    TextTable table({"design", "exec cycles", "rel. to IDEAL",
+                     "IOMMU acc/cycle", "mean queue delay (cyc)"});
+
+    Tick ideal_ticks = 0;
+    for (const MmuDesign design :
+         {MmuDesign::kIdeal, MmuDesign::kBaseline512, MmuDesign::kVcOpt}) {
+        cfg.design = design;
+        const RunResult r = runWorkload("pagerank", cfg);
+        if (design == MmuDesign::kIdeal)
+            ideal_ticks = r.exec_ticks;
+        table.addRow({designName(design), std::to_string(r.exec_ticks),
+                      TextTable::fmt(double(r.exec_ticks) /
+                                     double(ideal_ticks), 2) + "x",
+                      TextTable::fmt(r.iommu_apc_mean),
+                      TextTable::fmt(r.iommu_serialization_mean, 1)});
+    }
+    table.print();
+
+    std::printf("\nThe virtual cache hierarchy filters per-CU TLB misses "
+                "inside the caches,\nso the shared IOMMU TLB sees a "
+                "fraction of the baseline traffic and the\nserialization "
+                "delay collapses.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Rate-limited bank port: models per-bank throughput of the shared L2
+ * (Table 1: 8 banks) and any other structure serving at a fixed rate.
+ * Occupancy is tracked in fixed point so fractional service intervals
+ * accumulate exactly; the busy time a request observes is its queueing
+ * delay.
+ */
+
+#ifndef GVC_CACHE_BANK_PORT_HH
+#define GVC_CACHE_BANK_PORT_HH
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gvc
+{
+
+/** A single server with a fixed service rate (accesses per cycle). */
+class BankPort
+{
+  public:
+    explicit BankPort(double accesses_per_cycle = 1.0)
+        : fp_per_access_(std::uint64_t(double(kFpScale) /
+                                       accesses_per_cycle))
+    {
+    }
+
+    /**
+     * Claim the port for one access arriving at @p now.
+     * @return the tick at which service begins (>= now).
+     */
+    Tick
+    acquire(Tick now)
+    {
+        ++accesses_;
+        const std::uint64_t now_fp = now * kFpScale;
+        const std::uint64_t start_fp =
+            free_fp_ > now_fp ? free_fp_ : now_fp;
+        free_fp_ = start_fp + fp_per_access_;
+        const Tick start = start_fp / kFpScale;
+        wait_sum_ += start - now;
+        return start;
+    }
+
+    std::uint64_t accesses() const { return accesses_.value; }
+
+    double
+    meanWait() const
+    {
+        return accesses_.value
+            ? double(wait_sum_.value) / double(accesses_.value)
+            : 0.0;
+    }
+
+  private:
+    static constexpr std::uint64_t kFpScale = 1024;
+
+    std::uint64_t fp_per_access_;
+    std::uint64_t free_fp_ = 0;
+    Counter accesses_;
+    Counter wait_sum_;
+};
+
+} // namespace gvc
+
+#endif // GVC_CACHE_BANK_PORT_HH

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Generic set-associative cache array with true-LRU replacement.
+ *
+ * The same array backs physical caches (tag = physical line address) and
+ * virtual caches (tag = virtual line address + ASID, with per-line
+ * permissions, as required by the paper's design).  Timing lives in the
+ * hierarchy controllers; this class is the functional state plus
+ * statistics and lifetime tracking (Figure 12).
+ */
+
+#ifndef GVC_CACHE_CACHE_ARRAY_HH
+#define GVC_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gvc
+{
+
+/** Cache geometry and policy configuration. */
+struct CacheParams
+{
+    std::uint64_t size_bytes = 32 * 1024;
+    unsigned assoc = 8;
+    unsigned line_bytes = unsigned(kLineSize);
+    /** Write-back (true) or write-through (false). */
+    bool write_back = false;
+    /** Allocate on write miss. */
+    bool write_allocate = false;
+    /** Record per-line active lifetimes (insert -> last access). */
+    bool track_lifetimes = false;
+};
+
+/** Metadata of a resident line, returned on eviction. */
+struct CacheLineInfo
+{
+    Asid asid = 0;
+    std::uint64_t line_addr = kInvalidAddr; ///< Line-aligned tag address.
+    Perms perms = kPermNone;
+    bool dirty = false;
+};
+
+/**
+ * The array.  Addresses are line-aligned by callers' convention but the
+ * array aligns defensively.  ASID participates in tag match only (not in
+ * indexing), which is what the paper's ASID-extended virtual tags do.
+ */
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheParams &params)
+        : params_(params)
+    {
+        const std::uint64_t lines = params.size_bytes / params.line_bytes;
+        if (lines == 0)
+            fatal("CacheArray: size smaller than one line");
+        unsigned assoc = params.assoc ? params.assoc : 1;
+        if (assoc > lines)
+            assoc = unsigned(lines);
+        num_sets_ = std::size_t(lines / assoc);
+        assoc_ = unsigned(lines / num_sets_);
+        sets_.resize(num_sets_);
+        for (auto &set : sets_)
+            set.reserve(assoc_);
+    }
+
+    /**
+     * Access a line.  On hit, recency (and dirtiness for write-back
+     * writes) are updated.  Write-through writes never dirty the line.
+     * @return true on hit.
+     */
+    bool
+    access(Asid asid, std::uint64_t addr, bool is_write, Tick now)
+    {
+        ++accesses_;
+        if (is_write)
+            ++writes_;
+        Line *line = find(asid, lineKey(addr));
+        if (!line) {
+            ++misses_;
+            return false;
+        }
+        ++hits_;
+        line->last_used = now;
+        line->lru = ++lru_clock_;
+        if (is_write && params_.write_back)
+            line->dirty = true;
+        return true;
+    }
+
+    /** Side-effect-free presence probe (Figure 2 classification). */
+    bool
+    present(Asid asid, std::uint64_t addr) const
+    {
+        const std::uint64_t key = lineKey(addr);
+        const auto &set = sets_[setIndex(key)];
+        for (const auto &l : set)
+            if (l.valid && l.asid == asid && l.key == key)
+                return true;
+        return false;
+    }
+
+    /** Permissions of a resident line (virtual caches check these). */
+    std::optional<Perms>
+    linePerms(Asid asid, std::uint64_t addr) const
+    {
+        const std::uint64_t key = lineKey(addr);
+        const auto &set = sets_[setIndex(key)];
+        for (const auto &l : set)
+            if (l.valid && l.asid == asid && l.key == key)
+                return l.perms;
+        return std::nullopt;
+    }
+
+    /**
+     * Install a line, evicting the LRU way if needed.
+     * @return metadata of the displaced line, if any (for writebacks and
+     *         FBT bit-vector maintenance).
+     */
+    std::optional<CacheLineInfo>
+    insert(Asid asid, std::uint64_t addr, Perms perms, bool dirty,
+           Tick now)
+    {
+        ++fills_;
+        const std::uint64_t key = lineKey(addr);
+        auto &set = sets_[setIndex(key)];
+        for (auto &l : set) {
+            if (l.valid && l.asid == asid && l.key == key) {
+                l.perms = perms;
+                l.dirty = l.dirty || dirty;
+                l.lru = ++lru_clock_;
+                l.last_used = now;
+                return std::nullopt;
+            }
+        }
+        Line fresh;
+        fresh.valid = true;
+        fresh.asid = asid;
+        fresh.key = key;
+        fresh.perms = perms;
+        fresh.dirty = dirty;
+        fresh.inserted = now;
+        fresh.last_used = now;
+        fresh.lru = ++lru_clock_;
+
+        // Reuse a way freed by invalidation before displacing anyone.
+        for (auto &l : set) {
+            if (!l.valid) {
+                l = fresh;
+                return std::nullopt;
+            }
+        }
+        if (set.size() < assoc_) {
+            set.push_back(fresh);
+            return std::nullopt;
+        }
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < set.size(); ++i)
+            if (set[i].lru < set[victim].lru)
+                victim = i;
+        const auto evicted = retire(set[victim]);
+        set[victim] = fresh;
+        ++evictions_;
+        return evicted;
+    }
+
+    /** Invalidate one line.  @return its metadata if it was present. */
+    std::optional<CacheLineInfo>
+    invalidateLine(Asid asid, std::uint64_t addr)
+    {
+        const std::uint64_t key = lineKey(addr);
+        auto &set = sets_[setIndex(key)];
+        for (auto &l : set) {
+            if (l.valid && l.asid == asid && l.key == key) {
+                const auto info = retire(l);
+                l.valid = false;
+                ++invalidations_;
+                return info;
+            }
+        }
+        return std::nullopt;
+    }
+
+    /**
+     * Invalidate every line belonging to one 4 KB page of one address
+     * space.  @p on_evict receives each line (writeback decisions).
+     * @return number of lines invalidated.
+     */
+    unsigned
+    invalidatePage(Asid asid, std::uint64_t page_base_addr,
+                   const std::function<void(const CacheLineInfo &)>
+                       &on_evict = {})
+    {
+        unsigned count = 0;
+        for (unsigned i = 0; i < kLinesPerPage; ++i) {
+            const std::uint64_t addr =
+                page_base_addr + std::uint64_t(i) * params_.line_bytes;
+            if (auto info = invalidateLine(asid, addr)) {
+                ++count;
+                if (on_evict)
+                    on_evict(*info);
+            }
+        }
+        return count;
+    }
+
+    /** Invalidate the entire array; @p on_evict sees every line. */
+    void
+    invalidateAll(const std::function<void(const CacheLineInfo &)>
+                      &on_evict = {})
+    {
+        for (auto &set : sets_) {
+            for (auto &l : set) {
+                if (!l.valid)
+                    continue;
+                const auto info = retire(l);
+                l.valid = false;
+                ++invalidations_;
+                if (on_evict && info)
+                    on_evict(*info);
+            }
+            set.clear();
+        }
+    }
+
+    /** Visit every resident line (tests, end-of-run lifetime flush). */
+    void
+    forEachLine(const std::function<void(const CacheLineInfo &)> &fn) const
+    {
+        for (const auto &set : sets_) {
+            for (const auto &l : set) {
+                if (l.valid)
+                    fn(CacheLineInfo{l.asid, unKey(l.key), l.perms,
+                                     l.dirty});
+            }
+        }
+    }
+
+    /** Record lifetimes of still-resident lines (simulation end). */
+    void
+    flushLifetimes()
+    {
+        if (!params_.track_lifetimes)
+            return;
+        for (const auto &set : sets_)
+            for (const auto &l : set)
+                if (l.valid && l.last_used > l.inserted)
+                    lifetimes_.record(l.last_used - l.inserted);
+    }
+
+    std::uint64_t accesses() const { return accesses_.value; }
+    std::uint64_t hits() const { return hits_.value; }
+    std::uint64_t misses() const { return misses_.value; }
+    std::uint64_t fills() const { return fills_.value; }
+    std::uint64_t evictions() const { return evictions_.value; }
+    std::uint64_t invalidations() const { return invalidations_.value; }
+
+    double
+    hitRatio() const
+    {
+        return accesses_.value
+            ? double(hits_.value) / double(accesses_.value)
+            : 0.0;
+    }
+
+    const LifetimeRecorder &lifetimes() const { return lifetimes_; }
+    std::size_t numSets() const { return num_sets_; }
+    unsigned assoc() const { return assoc_; }
+    unsigned lineBytes() const { return params_.line_bytes; }
+
+    std::size_t
+    residentLines() const
+    {
+        std::size_t n = 0;
+        for (const auto &set : sets_)
+            for (const auto &l : set)
+                n += l.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Asid asid = 0;
+        std::uint64_t key = 0; ///< addr >> line shift.
+        Perms perms = kPermNone;
+        bool dirty = false;
+        Tick inserted = 0;
+        Tick last_used = 0;
+        std::uint64_t lru = 0;
+    };
+
+    std::uint64_t
+    lineKey(std::uint64_t addr) const
+    {
+        return addr / params_.line_bytes;
+    }
+
+    std::uint64_t
+    unKey(std::uint64_t key) const
+    {
+        return key * params_.line_bytes;
+    }
+
+    std::size_t setIndex(std::uint64_t key) const { return key % num_sets_; }
+
+    Line *
+    find(Asid asid, std::uint64_t key)
+    {
+        auto &set = sets_[setIndex(key)];
+        for (auto &l : set)
+            if (l.valid && l.asid == asid && l.key == key)
+                return &l;
+        return nullptr;
+    }
+
+    /** Common retirement bookkeeping; returns the line's metadata. */
+    std::optional<CacheLineInfo>
+    retire(const Line &l)
+    {
+        if (params_.track_lifetimes && l.last_used > l.inserted)
+            lifetimes_.record(l.last_used - l.inserted);
+        return CacheLineInfo{l.asid, unKey(l.key), l.perms, l.dirty};
+    }
+
+    CacheParams params_;
+    std::size_t num_sets_ = 1;
+    unsigned assoc_ = 1;
+    std::vector<std::vector<Line>> sets_;
+    std::uint64_t lru_clock_ = 0;
+
+    Counter accesses_;
+    Counter writes_;
+    Counter hits_;
+    Counter misses_;
+    Counter fills_;
+    Counter evictions_;
+    Counter invalidations_;
+    LifetimeRecorder lifetimes_;
+};
+
+} // namespace gvc
+
+#endif // GVC_CACHE_CACHE_ARRAY_HH

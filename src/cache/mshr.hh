@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Miss-status holding registers: merge concurrent misses to the same
+ * line so only the primary miss issues a fill; secondaries are woken when
+ * the fill completes.
+ */
+
+#ifndef GVC_CACHE_MSHR_HH
+#define GVC_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace gvc
+{
+
+/**
+ * MSHR table keyed by an opaque 64-bit line key (callers fold ASID /
+ * address space into the key).  Unlimited capacity by default; a finite
+ * limit can be configured, in which case allocation failure is reported
+ * and the caller must retry (GPUs stall the pipe).
+ */
+class MshrTable
+{
+  public:
+    using WakeFn = std::function<void()>;
+
+    explicit MshrTable(std::size_t max_entries = 0)
+        : max_entries_(max_entries)
+    {
+    }
+
+    /** Allocation outcome. */
+    enum class Result {
+        kPrimary,   ///< New entry: the caller must issue the fill.
+        kSecondary, ///< Merged: the callback fires on fill completion.
+        kFull,      ///< No entry available; retry later.
+    };
+
+    /**
+     * Try to allocate/merge a miss on @p key.  For kSecondary, @p on_fill
+     * is queued; for kPrimary it is NOT queued (the caller drives its own
+     * completion).
+     */
+    Result
+    allocate(std::uint64_t key, WakeFn on_fill)
+    {
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++merged_;
+            it->second.push_back(std::move(on_fill));
+            return Result::kSecondary;
+        }
+        if (max_entries_ && entries_.size() >= max_entries_) {
+            ++rejected_;
+            return Result::kFull;
+        }
+        ++allocated_;
+        entries_.emplace(key, std::vector<WakeFn>{});
+        return Result::kPrimary;
+    }
+
+    /** True if a miss on @p key is already outstanding. */
+    bool outstanding(std::uint64_t key) const
+    {
+        return entries_.count(key) != 0;
+    }
+
+    /**
+     * Complete the fill for @p key: removes the entry and runs all merged
+     * waiters (in merge order).
+     */
+    void
+    complete(std::uint64_t key)
+    {
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            return;
+        auto waiters = std::move(it->second);
+        entries_.erase(it);
+        for (auto &w : waiters)
+            w();
+    }
+
+    std::size_t inFlight() const { return entries_.size(); }
+    std::uint64_t allocations() const { return allocated_.value; }
+    std::uint64_t merges() const { return merged_.value; }
+    std::uint64_t rejections() const { return rejected_.value; }
+
+  private:
+    std::size_t max_entries_;
+    std::unordered_map<std::uint64_t, std::vector<WakeFn>> entries_;
+    Counter allocated_;
+    Counter merged_;
+    Counter rejected_;
+};
+
+} // namespace gvc
+
+#endif // GVC_CACHE_MSHR_HH

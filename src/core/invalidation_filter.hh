@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Per-L1 invalidation filter (§4.2).
+ *
+ * Modern GPU L1s cannot be probed, so when an FBT entry is evicted or a
+ * shootdown arrives the IOMMU broadcasts an invalidation to every L1.
+ * Each L1 keeps this small filter — virtual page number tag plus a
+ * counter of resident lines from the page — so invalidations for pages
+ * the L1 never cached are dropped, and a filter hit triggers a full L1
+ * flush (the L1 is write-through-no-allocate, so flushing writes back
+ * nothing).
+ *
+ * The filter is finite; displacing a nonzero-count entry would lose
+ * inclusion information, so the filter sets a conservative overflow flag
+ * instead, which makes every subsequent invalidation look like a hit
+ * until the next full flush resets the filter.
+ */
+
+#ifndef GVC_CORE_INVALIDATION_FILTER_HH
+#define GVC_CORE_INVALIDATION_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gvc
+{
+
+/** One CU's invalidation filter. */
+class InvalidationFilter
+{
+  public:
+    /**
+     * @param entries  Total entries (§4.3 sizes ~1 KB per 32 KB L1;
+     *                 with a ~4 B entry that is 256 entries).
+     * @param assoc    Set associativity.
+     */
+    explicit InvalidationFilter(unsigned entries = 256, unsigned assoc = 8)
+        : assoc_(assoc)
+    {
+        num_sets_ = entries / assoc;
+        if (num_sets_ == 0)
+            num_sets_ = 1;
+        sets_.resize(num_sets_);
+    }
+
+    /** The L1 filled a line of (asid, vpn). */
+    void
+    lineFilled(Asid asid, Vpn vpn)
+    {
+        auto &set = sets_[setIndex(asid, vpn)];
+        for (auto &e : set.entries) {
+            if (e.valid && e.asid == asid && e.vpn == vpn) {
+                ++e.count;
+                return;
+            }
+        }
+        for (auto &e : set.entries) {
+            if (!e.valid || e.count == 0) {
+                e = Entry{true, asid, vpn, 1};
+                return;
+            }
+        }
+        if (set.entries.size() < assoc_) {
+            set.entries.push_back(Entry{true, asid, vpn, 1});
+            return;
+        }
+        // Would displace live inclusion info: go conservative instead.
+        set.overflowed = true;
+        ++overflows_;
+    }
+
+    /** The L1 evicted a line of (asid, vpn). */
+    void
+    lineEvicted(Asid asid, Vpn vpn)
+    {
+        auto &set = sets_[setIndex(asid, vpn)];
+        for (auto &e : set.entries) {
+            if (e.valid && e.asid == asid && e.vpn == vpn) {
+                if (e.count > 0)
+                    --e.count;
+                if (e.count == 0)
+                    e.valid = false;
+                return;
+            }
+        }
+        // Untracked eviction is only legal once the set overflowed.
+    }
+
+    /**
+     * Screen an invalidation request for (asid, vpn).
+     * @return true when the L1 may hold lines of the page (flush needed).
+     */
+    bool
+    maybePresent(Asid asid, Vpn vpn) const
+    {
+        const auto &set = sets_[setIndex(asid, vpn)];
+        if (set.overflowed)
+            return true;
+        for (const auto &e : set.entries)
+            if (e.valid && e.asid == asid && e.vpn == vpn && e.count > 0)
+                return true;
+        return false;
+    }
+
+    /** Process an invalidation; counts filtered vs. flush outcomes. */
+    bool
+    onInvalidate(Asid asid, Vpn vpn)
+    {
+        ++invalidations_;
+        if (maybePresent(asid, vpn)) {
+            ++flushes_;
+            return true;
+        }
+        ++filtered_;
+        return false;
+    }
+
+    /** The L1 was fully flushed: all counts reset, overflow cleared. */
+    void
+    reset()
+    {
+        for (auto &set : sets_) {
+            set.entries.clear();
+            set.overflowed = false;
+        }
+    }
+
+    std::uint64_t invalidationsSeen() const { return invalidations_.value; }
+    std::uint64_t invalidationsFiltered() const { return filtered_.value; }
+    std::uint64_t flushesTriggered() const { return flushes_.value; }
+    std::uint64_t overflowEvents() const { return overflows_.value; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Asid asid = 0;
+        Vpn vpn = kInvalidVpn;
+        std::uint32_t count = 0;
+    };
+
+    struct Set
+    {
+        std::vector<Entry> entries;
+        bool overflowed = false;
+    };
+
+    std::size_t
+    setIndex(Asid asid, Vpn vpn) const
+    {
+        return std::size_t((vpn ^ (std::uint64_t(asid) << 20)) %
+                           num_sets_);
+    }
+
+    unsigned assoc_;
+    std::size_t num_sets_ = 1;
+    std::vector<Set> sets_;
+    Counter invalidations_;
+    Counter filtered_;
+    Counter flushes_;
+    Counter overflows_;
+};
+
+} // namespace gvc
+
+#endif // GVC_CORE_INVALIDATION_FILTER_HH

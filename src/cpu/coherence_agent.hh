@@ -1,0 +1,187 @@
+/**
+ * @file
+ * CPU-side coherence agent.
+ *
+ * The paper's system is fully coherent between CPU and GPU (§2.1): CPU
+ * writes to lines the GPU may cache arrive at the GPU as physical-
+ * address probes, which the virtual hierarchy must reverse-translate
+ * through the backward table — and which the BT *filters* when the GPU
+ * does not hold the line (§4.1, the region-buffer-like benefit).
+ *
+ * This agent models the CPU side at the granularity that matters to
+ * the GPU: a stream of reads/writes over a shared buffer, each write
+ * probing the GPU caches.  CPU cache hits are modeled with a small
+ * private cache so probe traffic has realistic (write-miss-driven)
+ * timing rather than one probe per store.
+ */
+
+#ifndef GVC_CPU_COHERENCE_AGENT_HH
+#define GVC_CPU_COHERENCE_AGENT_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "cache/cache_array.hh"
+#include "cache/directory.hh"
+#include "mem/vm.hh"
+#include "sim/sim_context.hh"
+
+namespace gvc
+{
+
+/** Result the GPU side reports for one probe. */
+struct AgentProbeResult
+{
+    bool filtered = false;
+    bool invalidated = false;
+};
+
+/** Configuration of the agent's access stream. */
+struct CoherenceAgentParams
+{
+    /** Cycles between consecutive CPU accesses. */
+    Tick period = 50;
+    /** Fraction of accesses that are stores (probe generators). */
+    double store_fraction = 0.5;
+    /** Private CPU cache size (Table 1: 64 KB L1D). */
+    std::uint64_t cache_bytes = 64 * 1024;
+    unsigned cache_assoc = 8;
+};
+
+/** The agent. */
+class CpuCoherenceAgent
+{
+  public:
+    /** GPU-side probe hook: (physical line, invalidate). */
+    using ProbeFn = std::function<AgentProbeResult(Paddr, bool)>;
+
+    CpuCoherenceAgent(SimContext &ctx, Vm &vm,
+                      const CoherenceAgentParams &params = {})
+        : ctx_(ctx), vm_(vm), params_(params),
+          cache_(CacheParams{params.cache_bytes, params.cache_assoc,
+                             unsigned(kLineSize), /*write_back=*/true,
+                             /*write_allocate=*/true, false})
+    {
+    }
+
+    /** Install the GPU-side probe sink (direct mode). */
+    void setProbeSink(ProbeFn fn) { probe_ = std::move(fn); }
+
+    /**
+     * Route CPU traffic through a coherence directory instead of
+     * probing the GPU directly: store misses fetch exclusive, the
+     * directory invalidates the GPU's copy (via its registered sink),
+     * and this agent registers itself as the directory's CPU node.
+     */
+    void
+    attachDirectory(Directory &dir)
+    {
+        dir_ = &dir;
+        dir.setProbeSink(DirNode::kCpu, [this](Paddr, bool inv) {
+            ProbeOutcome out;
+            // A precise CPU cache model would reverse-map the line;
+            // this agent conservatively reports nothing resident (its
+            // private cache is a timing filter only).
+            (void)inv;
+            return out;
+        });
+    }
+
+    /**
+     * Start streaming @p accesses accesses over the shared region
+     * [base, base+bytes) of @p asid, one every params.period cycles.
+     * @param on_done fires after the last access.
+     */
+    void
+    start(Asid asid, Vaddr base, std::uint64_t bytes,
+          std::uint64_t accesses, std::function<void()> on_done = {})
+    {
+        asid_ = asid;
+        base_ = base;
+        lines_ = bytes / kLineSize;
+        remaining_ = accesses;
+        on_done_ = std::move(on_done);
+        ctx_.eq.scheduleIn(params_.period, [this] { step(); });
+    }
+
+    std::uint64_t accessesIssued() const { return issued_.value; }
+    std::uint64_t probesSent() const { return probes_.value; }
+    std::uint64_t probesFiltered() const { return filtered_.value; }
+    std::uint64_t gpuLinesInvalidated() const
+    {
+        return invalidated_.value;
+    }
+
+    CacheArray &cache() { return cache_; }
+
+  private:
+    void
+    step()
+    {
+        if (remaining_ == 0) {
+            if (on_done_)
+                on_done_();
+            return;
+        }
+        --remaining_;
+        ++issued_;
+
+        // Deterministic stride-with-revisit pattern over the buffer.
+        const std::uint64_t idx =
+            (issued_.value * 7) % (lines_ ? lines_ : 1);
+        const Vaddr line_va = base_ + idx * kLineSize;
+        const bool is_store = ctx_.rng.chance(params_.store_fraction);
+
+        const auto t = vm_.translate(asid_, line_va);
+        if (t) {
+            const Paddr line_pa =
+                pageBase(t->ppn) | (line_va & kPageMask & ~kLineMask);
+            const bool hit =
+                cache_.access(asid_, line_va, is_store, ctx_.now());
+            cache_.insert(asid_, line_va, t->perms, is_store,
+                          ctx_.now());
+            // Stores must invalidate any GPU copy (MESI-style
+            // ownership).
+            if (is_store) {
+                ++probes_;
+                if (dir_) {
+                    // Through the directory: its GPU sink performs the
+                    // reverse-translated invalidation.
+                    dir_->fetch(DirNode::kCpu, line_pa,
+                                /*exclusive=*/true, [] {});
+                } else if (probe_) {
+                    const auto r = probe_(line_pa, /*invalidate=*/true);
+                    if (r.filtered)
+                        ++filtered_;
+                    if (r.invalidated)
+                        ++invalidated_;
+                }
+            } else if (dir_ && !hit) {
+                dir_->fetch(DirNode::kCpu, line_pa, false, [] {});
+            }
+        }
+        ctx_.eq.scheduleIn(params_.period, [this] { step(); });
+    }
+
+    SimContext &ctx_;
+    Vm &vm_;
+    CoherenceAgentParams params_;
+    CacheArray cache_;
+    ProbeFn probe_;
+    Directory *dir_ = nullptr;
+
+    Asid asid_ = 0;
+    Vaddr base_ = 0;
+    std::uint64_t lines_ = 0;
+    std::uint64_t remaining_ = 0;
+    std::function<void()> on_done_;
+
+    Counter issued_;
+    Counter probes_;
+    Counter filtered_;
+    Counter invalidated_;
+};
+
+} // namespace gvc
+
+#endif // GVC_CPU_COHERENCE_AGENT_HH

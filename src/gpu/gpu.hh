@@ -1,0 +1,114 @@
+/**
+ * @file
+ * GPU device: owns the compute units and dispatches kernels.  A kernel
+ * launch is a set of warp streams in one address space; streams are
+ * assigned to CUs round-robin and the launch completes when every CU
+ * drains.
+ */
+
+#ifndef GVC_GPU_GPU_HH
+#define GVC_GPU_GPU_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gpu/cu.hh"
+#include "sim/sim_context.hh"
+
+namespace gvc
+{
+
+/** A kernel launch: warp streams plus the launching address space. */
+struct KernelLaunch
+{
+    Asid asid = 0;
+    std::vector<std::unique_ptr<WarpStream>> warps;
+};
+
+/** The GPU device. */
+class Gpu
+{
+  public:
+    Gpu(SimContext &ctx, const GpuParams &params, GpuMemInterface &mem)
+        : ctx_(ctx), params_(params)
+    {
+        cus_.reserve(params.num_cus);
+        for (unsigned i = 0; i < params.num_cus; ++i)
+            cus_.push_back(
+                std::make_unique<ComputeUnit>(ctx, i, params, mem));
+    }
+
+    /**
+     * Launch @p kernel; @p on_done fires when every warp has retired.
+     * Only one kernel may be in flight at a time (the harness serializes
+     * launches, matching the paper's one-kernel-at-a-time workloads).
+     */
+    void
+    launch(KernelLaunch kernel, std::function<void()> on_done)
+    {
+        if (cus_running_ != 0)
+            fatal("Gpu::launch: a kernel is already running");
+        ++kernels_launched_;
+        on_kernel_done_ = std::move(on_done);
+        for (std::size_t i = 0; i < kernel.warps.size(); ++i) {
+            cus_[i % cus_.size()]->enqueueWarp(
+                kernel.asid, std::move(kernel.warps[i]));
+        }
+        cus_running_ = unsigned(cus_.size());
+        for (auto &cu : cus_) {
+            cu->start([this] {
+                if (--cus_running_ == 0 && on_kernel_done_)
+                    on_kernel_done_();
+            });
+        }
+    }
+
+    unsigned numCus() const { return unsigned(cus_.size()); }
+    ComputeUnit &cu(unsigned i) { return *cus_[i]; }
+    const ComputeUnit &cu(unsigned i) const { return *cus_[i]; }
+    std::uint64_t kernelsLaunched() const { return kernels_launched_.value; }
+
+    std::uint64_t
+    totalInstructions() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &cu : cus_)
+            n += cu->instructionsIssued();
+        return n;
+    }
+
+    std::uint64_t
+    totalMemInstructions() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &cu : cus_)
+            n += cu->memInstructions();
+        return n;
+    }
+
+    /** Mean coalesced lines per memory instruction across CUs. */
+    double
+    meanLinesPerMemInst() const
+    {
+        double lines = 0, insts = 0;
+        for (const auto &cu : cus_) {
+            lines += double(cu->coalescer().linesEmitted());
+            insts += double(cu->coalescer().instructions());
+        }
+        return insts > 0 ? lines / insts : 0.0;
+    }
+
+  private:
+    SimContext &ctx_;
+    GpuParams params_;
+    std::vector<std::unique_ptr<ComputeUnit>> cus_;
+    unsigned cus_running_ = 0;
+    std::function<void()> on_kernel_done_;
+    Counter kernels_launched_;
+};
+
+} // namespace gvc
+
+#endif // GVC_GPU_GPU_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Warp-level instruction records emitted by workload kernels.
+ *
+ * Workloads are expressed as per-warp instruction streams at the
+ * granularity that matters for the memory system: compute delays, global
+ * memory scatter/gather with per-lane virtual addresses, scratchpad
+ * traffic (which bypasses translation entirely), and barriers.
+ */
+
+#ifndef GVC_GPU_WARP_INST_HH
+#define GVC_GPU_WARP_INST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace gvc
+{
+
+/** Number of SIMD lanes per compute unit (Table 1: 32). */
+inline constexpr unsigned kWarpLanes = 32;
+
+/** Kinds of warp instructions the timing model distinguishes. */
+enum class WarpOp : std::uint8_t {
+    kCompute,    ///< Occupy the warp for N cycles, no memory traffic.
+    kLoad,       ///< Global-memory gather: per-lane virtual addresses.
+    kStore,      ///< Global-memory scatter: per-lane virtual addresses.
+    kScratchLoad,  ///< Scratchpad read: no TLB, no caches.
+    kScratchStore, ///< Scratchpad write: no TLB, no caches.
+    kBarrier,    ///< Wait for all resident warps of the CU.
+};
+
+/** One warp instruction. */
+struct WarpInst
+{
+    WarpOp op = WarpOp::kCompute;
+    /** Compute latency for kCompute. */
+    std::uint32_t cycles = 1;
+    /** Active-lane virtual addresses for loads/stores (<= kWarpLanes). */
+    std::vector<Vaddr> lane_addrs;
+
+    static WarpInst
+    compute(std::uint32_t cycles)
+    {
+        WarpInst w;
+        w.op = WarpOp::kCompute;
+        w.cycles = cycles;
+        return w;
+    }
+
+    static WarpInst
+    load(std::vector<Vaddr> addrs)
+    {
+        WarpInst w;
+        w.op = WarpOp::kLoad;
+        w.lane_addrs = std::move(addrs);
+        return w;
+    }
+
+    static WarpInst
+    store(std::vector<Vaddr> addrs)
+    {
+        WarpInst w;
+        w.op = WarpOp::kStore;
+        w.lane_addrs = std::move(addrs);
+        return w;
+    }
+
+    static WarpInst
+    scratch(bool is_store, unsigned lanes = kWarpLanes)
+    {
+        WarpInst w;
+        w.op = is_store ? WarpOp::kScratchStore : WarpOp::kScratchLoad;
+        w.cycles = lanes;
+        return w;
+    }
+
+    static WarpInst
+    barrier()
+    {
+        WarpInst w;
+        w.op = WarpOp::kBarrier;
+        return w;
+    }
+
+    bool
+    isGlobalMem() const
+    {
+        return op == WarpOp::kLoad || op == WarpOp::kStore;
+    }
+};
+
+/**
+ * A lazily-generated stream of warp instructions.  Kernels implement this
+ * so traces never need to be fully materialized.
+ */
+class WarpStream
+{
+  public:
+    virtual ~WarpStream() = default;
+
+    /** Produce the next instruction; false at end of stream. */
+    virtual bool next(WarpInst &out) = 0;
+};
+
+/** A WarpStream over a pre-built instruction vector (tests, replay). */
+class VectorWarpStream final : public WarpStream
+{
+  public:
+    explicit VectorWarpStream(std::vector<WarpInst> insts)
+        : insts_(std::move(insts))
+    {
+    }
+
+    bool
+    next(WarpInst &out) override
+    {
+        if (pos_ >= insts_.size())
+            return false;
+        out = insts_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<WarpInst> insts_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace gvc
+
+#endif // GVC_GPU_WARP_INST_HH

@@ -1,0 +1,130 @@
+#include "harness/runner.hh"
+
+#include "mem/phys_mem.hh"
+#include "mem/vm.hh"
+
+namespace gvc
+{
+
+RunResult
+runWorkload(const std::string &workload_name, const RunConfig &cfg,
+            const InspectFn &inspect)
+{
+    SimContext ctx(cfg.workload.seed);
+    PhysMem pm(cfg.soc.phys_mem_bytes);
+    Vm vm(pm);
+    const Asid asid = vm.createProcess();
+
+    auto workload = makeWorkload(workload_name, cfg.workload);
+    workload->setup(vm, asid);
+
+    Dram dram(ctx, cfg.soc.dram);
+    const SocConfig soc =
+        cfg.raw_soc ? cfg.soc : configFor(cfg.design, cfg.soc);
+    SystemUnderTest sut(ctx, soc, vm, dram, cfg.design);
+    Gpu gpu(ctx, soc.gpu, sut.memIf());
+
+    for (auto &launch : workload->kernels()) {
+        bool done = false;
+        gpu.launch(std::move(launch), [&done] { done = true; });
+        ctx.eq.run();
+        if (!done)
+            panic("runWorkload: kernel failed to drain the event queue");
+    }
+
+    const Tick end = ctx.now();
+    if (Iommu *io = sut.iommu())
+        io->sampler().finish(end);
+    sut.flushLifetimes();
+
+    RunResult r;
+    r.workload = workload_name;
+    r.design = cfg.design;
+    r.exec_ticks = end;
+    r.instructions = gpu.totalInstructions();
+    r.mem_instructions = gpu.totalMemInstructions();
+    r.lines_per_mem_inst = gpu.meanLinesPerMemInst();
+
+    if (BaselineMmuSystem *b = sut.baseline()) {
+        r.tlb_accesses = b->tlbAccesses();
+        r.tlb_misses = b->tlbMisses();
+        r.tlb_miss_ratio = b->tlbMissRatio();
+        r.tlb_breakdown = b->breakdown();
+        std::uint64_t l1_acc = 0, l1_hit = 0;
+        for (unsigned cu = 0; cu < soc.gpu.num_cus; ++cu) {
+            l1_acc += b->caches().l1(cu).accesses();
+            l1_hit += b->caches().l1(cu).hits();
+        }
+        r.l1_accesses = l1_acc;
+        r.l2_accesses = b->caches().l2().accesses();
+        r.l1_hit_ratio = l1_acc ? double(l1_hit) / double(l1_acc) : 0.0;
+        r.l2_hit_ratio = b->caches().l2().hitRatio();
+    } else if (VirtualCacheSystem *v = sut.vc()) {
+        std::uint64_t l1_acc = 0, l1_hit = 0;
+        for (unsigned cu = 0; cu < soc.gpu.num_cus; ++cu) {
+            l1_acc += v->l1(cu).accesses();
+            l1_hit += v->l1(cu).hits();
+        }
+        r.l1_accesses = l1_acc;
+        r.l2_accesses = v->l2().accesses();
+        r.l1_hit_ratio = l1_acc ? double(l1_hit) / double(l1_acc) : 0.0;
+        r.l2_hit_ratio = v->l2().hitRatio();
+        r.synonym_replays = v->synonymReplays();
+        r.rw_faults = v->rwFaults();
+        r.fbt_purges = v->fbtPurges();
+        r.fbt_valid_pages = v->fbt().validEntries();
+        r.fbt_second_level_hit_ratio = v->fbt().ftHitRatio();
+        r.fbt_lookups = v->fbt().btLookups() + v->fbt().ftLookups();
+    } else if (L1OnlyVcSystem *l = sut.l1vc()) {
+        std::uint64_t l1_acc = 0, l1_hit = 0, t_acc = 0, t_miss = 0;
+        for (unsigned cu = 0; cu < soc.gpu.num_cus; ++cu) {
+            l1_acc += l->l1(cu).accesses();
+            l1_hit += l->l1(cu).hits();
+            t_acc += l->perCuTlb(cu).accesses();
+            t_miss += l->perCuTlb(cu).misses();
+        }
+        r.l1_accesses = l1_acc;
+        r.l2_accesses = l->caches().l2().accesses();
+        r.l1_hit_ratio = l1_acc ? double(l1_hit) / double(l1_acc) : 0.0;
+        r.l2_hit_ratio = l->caches().l2().hitRatio();
+        r.tlb_accesses = t_acc;
+        r.tlb_misses = t_miss;
+        r.tlb_miss_ratio = t_acc ? double(t_miss) / double(t_acc) : 0.0;
+        r.synonym_replays = l->synonymReplays();
+    } else if (IdealMmuSystem *i = sut.ideal()) {
+        std::uint64_t l1_acc = 0, l1_hit = 0;
+        for (unsigned cu = 0; cu < soc.gpu.num_cus; ++cu) {
+            l1_acc += i->caches().l1(cu).accesses();
+            l1_hit += i->caches().l1(cu).hits();
+        }
+        r.l1_accesses = l1_acc;
+        r.l2_accesses = i->caches().l2().accesses();
+        r.l1_hit_ratio = l1_acc ? double(l1_hit) / double(l1_acc) : 0.0;
+        r.l2_hit_ratio = i->caches().l2().hitRatio();
+    }
+    r.dram_accesses = dram.accesses();
+    r.dram_bytes = dram.bytesMoved();
+
+    if (Iommu *io = sut.iommu()) {
+        r.iommu_accesses = io->accesses();
+        r.iommu_apc_mean = io->sampler().meanPerCycle();
+        r.iommu_apc_stdev = io->sampler().stdevPerCycle();
+        r.iommu_apc_max = io->sampler().maxPerCycle();
+        r.iommu_frac_windows_over_1 =
+            io->sampler().fractionAboveThreshold();
+        r.iommu_serialization_mean = io->meanSerializationDelay();
+        r.page_walks = io->walks();
+        if (r.fbt_second_level_hit_ratio == 0.0 &&
+            io->secondLevelLookups() > 0) {
+            r.fbt_second_level_hit_ratio =
+                double(io->secondLevelHits()) /
+                double(io->secondLevelLookups());
+        }
+    }
+
+    if (inspect)
+        inspect(sut, gpu, ctx);
+    return r;
+}
+
+} // namespace gvc

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Experiment runner: build a (workload, MMU design) pair over a fresh
+ * simulation context, execute every kernel launch to completion, and
+ * collect the statistics the paper's figures are built from.
+ */
+
+#ifndef GVC_HARNESS_RUNNER_HH
+#define GVC_HARNESS_RUNNER_HH
+
+#include <functional>
+#include <string>
+
+#include "gpu/gpu.hh"
+#include "mmu/designs.hh"
+#include "workloads/registry.hh"
+
+namespace gvc
+{
+
+/** One experiment's configuration. */
+struct RunConfig
+{
+    MmuDesign design = MmuDesign::kBaseline512;
+    SocConfig soc;
+    WorkloadParams workload;
+    /**
+     * Use `soc` exactly as given instead of applying the design's
+     * Table-2 defaults (configFor).  The design then only selects the
+     * hierarchy structure; all sizes/limits come from `soc`.
+     */
+    bool raw_soc = false;
+};
+
+/** Scalar results of one run. */
+struct RunResult
+{
+    std::string workload;
+    MmuDesign design = MmuDesign::kBaseline512;
+
+    /** GPU execution time in cycles. */
+    Tick exec_ticks = 0;
+
+    // --- GPU-side activity ---
+    std::uint64_t instructions = 0;
+    std::uint64_t mem_instructions = 0;
+    double lines_per_mem_inst = 0.0;
+
+    // --- per-CU TLBs (baseline / L1-only VC designs) ---
+    std::uint64_t tlb_accesses = 0;
+    std::uint64_t tlb_misses = 0;
+    double tlb_miss_ratio = 0.0;
+    TlbMissBreakdown tlb_breakdown; ///< Figure 2 classification.
+
+    // --- shared IOMMU TLB ---
+    std::uint64_t iommu_accesses = 0;
+    double iommu_apc_mean = 0.0;  ///< Accesses per cycle, window mean.
+    double iommu_apc_stdev = 0.0;
+    double iommu_apc_max = 0.0;
+    double iommu_frac_windows_over_1 = 0.0;
+    double iommu_serialization_mean = 0.0; ///< Cycles queued per access.
+    std::uint64_t page_walks = 0;
+    double fbt_second_level_hit_ratio = 0.0;
+
+    // --- caches and memory (activity counts for energy estimates) ---
+    double l1_hit_ratio = 0.0;
+    double l2_hit_ratio = 0.0;
+    std::uint64_t l1_accesses = 0;
+    std::uint64_t l2_accesses = 0;
+    std::uint64_t dram_accesses = 0;
+    std::uint64_t dram_bytes = 0;
+    std::uint64_t fbt_lookups = 0; ///< BT + FT lookups.
+
+    // --- virtual-cache specifics ---
+    std::uint64_t synonym_replays = 0;
+    std::uint64_t rw_faults = 0;
+    std::uint64_t fbt_purges = 0;
+    std::uint64_t fbt_valid_pages = 0; ///< Pages resident at end.
+};
+
+/**
+ * Hook invoked after the run completes but before teardown, for benches
+ * that need non-scalar state (lifetime histograms, FBT contents).
+ */
+using InspectFn =
+    std::function<void(SystemUnderTest &, Gpu &, SimContext &)>;
+
+/** Execute @p workload_name under @p cfg. */
+RunResult runWorkload(const std::string &workload_name,
+                      const RunConfig &cfg, const InspectFn &inspect = {});
+
+} // namespace gvc
+
+#endif // GVC_HARNESS_RUNNER_HH

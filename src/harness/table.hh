@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tiny fixed-width table printer for bench/example output, so every
+ * figure harness prints uniform, paper-style rows.
+ */
+
+#ifndef GVC_HARNESS_TABLE_HH
+#define GVC_HARNESS_TABLE_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gvc
+{
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {
+    }
+
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Render to stdout. */
+    void
+    print() const
+    {
+        std::vector<std::size_t> widths(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            widths[c] = headers_[c].size();
+        for (const auto &row : rows_)
+            for (std::size_t c = 0; c < row.size() && c < widths.size();
+                 ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+
+        printRow(headers_, widths);
+        std::string rule;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            rule += std::string(widths[c], '-');
+            rule += (c + 1 < widths.size()) ? "-+-" : "";
+        }
+        std::printf("%s\n", rule.c_str());
+        for (const auto &row : rows_)
+            printRow(row, widths);
+    }
+
+    static std::string
+    fmt(double v, int precision = 3)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+        return buf;
+    }
+
+    static std::string
+    pct(double v, int precision = 1)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+        return buf;
+    }
+
+  private:
+    static void
+    printRow(const std::vector<std::string> &cells,
+             const std::vector<std::size_t> &widths)
+    {
+        std::string line;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            std::string cell = c < cells.size() ? cells[c] : "";
+            cell.resize(widths[c], ' ');
+            line += cell;
+            if (c + 1 < widths.size())
+                line += " | ";
+        }
+        std::printf("%s\n", line.c_str());
+    }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gvc
+
+#endif // GVC_HARNESS_TABLE_HH

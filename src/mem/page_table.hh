@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Four-level radix page table in the style of x86-64 (PML4/PDPT/PD/PT).
+ *
+ * The table is built from real frames allocated out of PhysMem, so a walk
+ * produces the genuine sequence of PTE physical addresses — exactly what
+ * the page-walk cache needs to model its locality.  2 MB pages terminate
+ * the walk one level early at the PD.
+ */
+
+#ifndef GVC_MEM_PAGE_TABLE_HH
+#define GVC_MEM_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/phys_mem.hh"
+#include "sim/types.hh"
+
+namespace gvc
+{
+
+/** Result of a successful translation. */
+struct Translation
+{
+    Ppn ppn = kInvalidPpn;   ///< Frame of the 4 KB region containing the VA.
+    Perms perms = kPermNone;
+    bool large = false;      ///< Mapped by a 2 MB page.
+    Vpn base_vpn = kInvalidVpn; ///< First 4 KB VPN of the mapping unit.
+};
+
+/** The PTE physical addresses visited by a walk, root first. */
+struct WalkPath
+{
+    std::array<Paddr, 4> pte_addrs{};
+    unsigned levels = 0;            ///< 4 for 4 KB pages, 3 for 2 MB.
+    std::optional<Translation> result;
+};
+
+/**
+ * One process's page table.  map/unmap/protect operate at 4 KB or 2 MB
+ * granularity; translate() is the functional lookup and walk() the timing
+ * model's view.
+ */
+class PageTable
+{
+  public:
+    explicit PageTable(PhysMem &pm)
+        : pm_(pm), root_frame_(pm.allocFrame())
+    {
+        nodes_.emplace(root_frame_, Node{});
+    }
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+    PageTable(PageTable &&) = default;
+
+    /** Map one 4 KB page.  Remapping an existing VPN overwrites it. */
+    void
+    map(Vpn vpn, Ppn ppn, Perms perms)
+    {
+        Entry &e = leafEntry(vpn, /*levels=*/4);
+        e.valid = true;
+        e.leaf = true;
+        e.large = false;
+        e.target = ppn;
+        e.perms = perms;
+    }
+
+    /**
+     * Map one 2 MB page.  @p vpn must be 2 MB aligned (low 9 bits zero)
+     * and @p ppn names the first of 512 contiguous frames.
+     */
+    void
+    mapLarge(Vpn vpn, Ppn ppn, Perms perms)
+    {
+        if (vpn & 0x1ff)
+            fatal("PageTable: 2MB mapping requires aligned VPN");
+        Entry &e = leafEntry(vpn, /*levels=*/3);
+        e.valid = true;
+        e.leaf = true;
+        e.large = true;
+        e.target = ppn;
+        e.perms = perms;
+    }
+
+    /** Remove the mapping covering @p vpn. @return true if one existed. */
+    bool
+    unmap(Vpn vpn)
+    {
+        Entry *e = findLeaf(vpn);
+        if (!e || !e->valid)
+            return false;
+        e->valid = false;
+        return true;
+    }
+
+    /** Change permissions of the mapping covering @p vpn. */
+    bool
+    protect(Vpn vpn, Perms perms)
+    {
+        Entry *e = findLeaf(vpn);
+        if (!e || !e->valid)
+            return false;
+        e->perms = perms;
+        return true;
+    }
+
+    /** Functional lookup. */
+    std::optional<Translation>
+    translate(Vpn vpn) const
+    {
+        const Entry *e = findLeaf(vpn);
+        if (!e || !e->valid)
+            return std::nullopt;
+        Translation t;
+        t.perms = e->perms;
+        if (e->large) {
+            t.large = true;
+            t.base_vpn = vpn & ~Vpn{0x1ff};
+            t.ppn = e->target + (vpn & 0x1ff);
+        } else {
+            t.large = false;
+            t.base_vpn = vpn;
+            t.ppn = e->target;
+        }
+        return t;
+    }
+
+    /**
+     * Timing-model walk: the PTE physical addresses touched, in order,
+     * plus the translation outcome.  Intermediate nodes are created on
+     * demand so the path is always fully materialized.
+     */
+    WalkPath
+    walk(Vpn vpn)
+    {
+        WalkPath path;
+        std::uint64_t node = root_frame_;
+        for (unsigned level = 0; level < 4; ++level) {
+            const unsigned idx = indexAt(vpn, level);
+            path.pte_addrs[level] =
+                pageBase(node) + std::uint64_t(idx) * 8;
+            path.levels = level + 1;
+            Node &n = nodes_[node];
+            Entry &e = n.entries[idx];
+            if (!e.valid)
+                return path; // fault: result remains empty
+            if (e.leaf) {
+                path.result = translate(vpn);
+                return path;
+            }
+            node = e.target;
+        }
+        return path;
+    }
+
+    Paddr rootAddr() const { return pageBase(root_frame_); }
+
+    /** Number of radix nodes (frames) backing this table. */
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t target = 0; ///< Next node frame, or mapped PPN.
+        Perms perms = kPermNone;
+        bool valid = false;
+        bool leaf = false;
+        bool large = false;
+    };
+
+    struct Node
+    {
+        std::array<Entry, 512> entries{};
+    };
+
+    /** Radix index of @p vpn at @p level (0 = root). VPNs are 36 bits. */
+    static unsigned
+    indexAt(Vpn vpn, unsigned level)
+    {
+        const unsigned shift = 9 * (3 - level);
+        return unsigned((vpn >> shift) & 0x1ff);
+    }
+
+    /** Walk down creating intermediate nodes; return the leaf entry. */
+    Entry &
+    leafEntry(Vpn vpn, unsigned levels)
+    {
+        std::uint64_t node = root_frame_;
+        for (unsigned level = 0; level + 1 < levels; ++level) {
+            Entry &e = nodes_[node].entries[indexAt(vpn, level)];
+            if (!e.valid || e.leaf) {
+                const Ppn child = pm_.allocFrame();
+                nodes_.emplace(child, Node{});
+                e.valid = true;
+                e.leaf = false;
+                e.large = false;
+                e.target = child;
+            }
+            node = e.target;
+        }
+        return nodes_[node].entries[indexAt(vpn, levels - 1)];
+    }
+
+    const Entry *
+    findLeaf(Vpn vpn) const
+    {
+        std::uint64_t node = root_frame_;
+        for (unsigned level = 0; level < 4; ++level) {
+            auto it = nodes_.find(node);
+            if (it == nodes_.end())
+                return nullptr;
+            const Entry &e = it->second.entries[indexAt(vpn, level)];
+            if (!e.valid)
+                return nullptr;
+            if (e.leaf)
+                return &e;
+            node = e.target;
+        }
+        return nullptr;
+    }
+
+    Entry *
+    findLeaf(Vpn vpn)
+    {
+        return const_cast<Entry *>(
+            static_cast<const PageTable *>(this)->findLeaf(vpn));
+    }
+
+    PhysMem &pm_;
+    std::uint64_t root_frame_;
+    std::unordered_map<std::uint64_t, Node> nodes_;
+};
+
+} // namespace gvc
+
+#endif // GVC_MEM_PAGE_TABLE_HH

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Virtual memory manager: processes (address spaces), anonymous and
+ * aliased (synonym) mappings, permission changes and unmapping with TLB
+ * shootdown notification.
+ *
+ * This is the OS-substrate the paper's system-level behaviours depend on:
+ * synonyms arise from alias()/share() mappings, homonyms from multiple
+ * ASIDs reusing the same VAs, and shootdowns from protect()/unmap().
+ */
+
+#ifndef GVC_MEM_VM_HH
+#define GVC_MEM_VM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mem/page_table.hh"
+#include "mem/phys_mem.hh"
+#include "sim/types.hh"
+
+namespace gvc
+{
+
+/**
+ * Owns all process address spaces and their page tables.  Components that
+ * cache translations (TLBs, the FBT) subscribe to shootdown events.
+ */
+class Vm
+{
+  public:
+    /** Per-page shootdown callback: (asid, vpn). */
+    using PageShootdownFn = std::function<void(Asid, Vpn)>;
+    /** Full address-space shootdown callback: (asid). */
+    using FullShootdownFn = std::function<void(Asid)>;
+
+    explicit Vm(PhysMem &pm) : pm_(pm) {}
+
+    /** Create a new address space; returns its ASID. */
+    Asid
+    createProcess()
+    {
+        const Asid asid = Asid(procs_.size());
+        procs_.push_back(std::make_unique<ProcState>(pm_));
+        return asid;
+    }
+
+    std::size_t processCount() const { return procs_.size(); }
+
+    /**
+     * Eagerly map @p bytes of fresh anonymous memory in @p asid.
+     * @return the base virtual address of the new region.
+     */
+    Vaddr
+    mmapAnon(Asid asid, std::uint64_t bytes,
+             Perms perms = kPermRead | kPermWrite)
+    {
+        ProcState &p = proc(asid);
+        const std::uint64_t pages = pageCount(bytes);
+        const Vaddr base = p.reserve(pages);
+        for (std::uint64_t i = 0; i < pages; ++i)
+            p.pt.map(pageOf(base) + i, pm_.allocFrame(), perms);
+        return base;
+    }
+
+    /**
+     * Eagerly map @p bytes using 2 MB pages (rounded up).
+     * @return the base virtual address (2 MB aligned).
+     */
+    Vaddr
+    mmapAnonLarge(Asid asid, std::uint64_t bytes,
+                  Perms perms = kPermRead | kPermWrite)
+    {
+        ProcState &p = proc(asid);
+        const std::uint64_t large_pages =
+            (bytes + kLargePageSize - 1) / kLargePageSize;
+        const Vaddr base = p.reserveAligned(large_pages * 512, 512);
+        for (std::uint64_t i = 0; i < large_pages; ++i) {
+            const Ppn frames = pm_.allocContiguous(512);
+            p.pt.mapLarge(pageOf(base) + i * 512, frames, perms);
+        }
+        return base;
+    }
+
+    /**
+     * Create a synonym: a new VA range in @p dst_asid backed by the same
+     * frames as [src_base, src_base+bytes) in @p src_asid.  When the two
+     * ASIDs are equal this is an intra-address-space alias.
+     * @return base VA of the alias region.
+     */
+    Vaddr
+    alias(Asid dst_asid, Asid src_asid, Vaddr src_base,
+          std::uint64_t bytes, Perms perms = kPermRead | kPermWrite)
+    {
+        ProcState &src = proc(src_asid);
+        ProcState &dst = proc(dst_asid);
+        const std::uint64_t pages = pageCount(bytes);
+        const Vaddr base = dst.reserve(pages);
+        for (std::uint64_t i = 0; i < pages; ++i) {
+            const auto t = src.pt.translate(pageOf(src_base) + i);
+            if (!t)
+                fatal("Vm::alias: source range not fully mapped");
+            dst.pt.map(pageOf(base) + i, t->ppn, perms);
+        }
+        return base;
+    }
+
+    /** Change permissions on a range; fires per-page shootdowns. */
+    void
+    protect(Asid asid, Vaddr base, std::uint64_t bytes, Perms perms)
+    {
+        ProcState &p = proc(asid);
+        const std::uint64_t pages = pageCount(bytes);
+        for (std::uint64_t i = 0; i < pages; ++i) {
+            const Vpn vpn = pageOf(base) + i;
+            if (p.pt.protect(vpn, perms))
+                firePageShootdown(asid, vpn);
+        }
+    }
+
+    /** Unmap a range; fires per-page shootdowns; frees frames that were
+     *  exclusively owned (aliased frames are left allocated). */
+    void
+    unmap(Asid asid, Vaddr base, std::uint64_t bytes)
+    {
+        ProcState &p = proc(asid);
+        const std::uint64_t pages = pageCount(bytes);
+        for (std::uint64_t i = 0; i < pages; ++i) {
+            const Vpn vpn = pageOf(base) + i;
+            if (p.pt.unmap(vpn))
+                firePageShootdown(asid, vpn);
+        }
+    }
+
+    /** Tear down all translations of a process (exit/context destroy). */
+    void
+    shootdownAll(Asid asid)
+    {
+        for (const auto &fn : full_listeners_)
+            fn(asid);
+    }
+
+    std::optional<Translation>
+    translate(Asid asid, Vaddr va)
+    {
+        return proc(asid).pt.translate(pageOf(va));
+    }
+
+    PageTable &pageTable(Asid asid) { return proc(asid).pt; }
+
+    void
+    addPageShootdownListener(PageShootdownFn fn)
+    {
+        page_listeners_.push_back(std::move(fn));
+    }
+
+    void
+    addFullShootdownListener(FullShootdownFn fn)
+    {
+        full_listeners_.push_back(std::move(fn));
+    }
+
+    std::uint64_t pageShootdowns() const { return page_shootdowns_; }
+
+  private:
+    struct ProcState
+    {
+        explicit ProcState(PhysMem &pm) : pt(pm) {}
+
+        /** Bump-reserve @p pages of VA space with a guard page. */
+        Vaddr
+        reserve(std::uint64_t pages)
+        {
+            const Vaddr base = next_va;
+            next_va += (pages + 1) * kPageSize;
+            return base;
+        }
+
+        /** Reserve with @p align_pages alignment (for 2 MB pages). */
+        Vaddr
+        reserveAligned(std::uint64_t pages, std::uint64_t align_pages)
+        {
+            const std::uint64_t align = align_pages * kPageSize;
+            next_va = (next_va + align - 1) & ~(align - 1);
+            const Vaddr base = next_va;
+            next_va += (pages + align_pages) * kPageSize;
+            return base;
+        }
+
+        PageTable pt;
+        Vaddr next_va = 0x1000'0000;
+    };
+
+    static std::uint64_t
+    pageCount(std::uint64_t bytes)
+    {
+        return (bytes + kPageSize - 1) >> kPageShift;
+    }
+
+    ProcState &
+    proc(Asid asid)
+    {
+        if (asid >= procs_.size())
+            fatal("Vm: unknown ASID");
+        return *procs_[asid];
+    }
+
+    void
+    firePageShootdown(Asid asid, Vpn vpn)
+    {
+        ++page_shootdowns_;
+        for (const auto &fn : page_listeners_)
+            fn(asid, vpn);
+    }
+
+    PhysMem &pm_;
+    std::vector<std::unique_ptr<ProcState>> procs_;
+    std::vector<PageShootdownFn> page_listeners_;
+    std::vector<FullShootdownFn> full_listeners_;
+    std::uint64_t page_shootdowns_ = 0;
+};
+
+} // namespace gvc
+
+#endif // GVC_MEM_VM_HH

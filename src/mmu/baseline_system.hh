@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Baseline MMU design (§2.1, Figure 1): physically-tagged caches behind
+ * per-CU TLBs; misses travel to the shared, bandwidth-limited IOMMU TLB
+ * over a PCIe-protocol path; IOMMU misses engage the 16-thread page-table
+ * walker with its page-walk cache.
+ *
+ * Matching the paper's accounting (Figure 3 equates IOMMU TLB accesses
+ * with per-CU TLB misses), concurrent misses to the same page are not
+ * merged by default; an optional merge mode exists for ablation.
+ *
+ * Also hosts the Figure 2 instrumentation: every per-CU TLB miss is
+ * classified by where the data currently resides (L1 hit / L2 hit / L2
+ * miss) via side-effect-free presence probes.
+ */
+
+#ifndef GVC_MMU_BASELINE_SYSTEM_HH
+#define GVC_MMU_BASELINE_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gpu/cu.hh"
+#include "mem/vm.hh"
+#include "mmu/injection.hh"
+#include "mmu/phys_caches.hh"
+#include "tlb/iommu.hh"
+#include "tlb/tlb.hh"
+
+namespace gvc
+{
+
+/** Figure 2 classification counters. */
+struct TlbMissBreakdown
+{
+    std::uint64_t miss_l1_hit = 0;
+    std::uint64_t miss_l2_hit = 0;
+    std::uint64_t miss_l2_miss = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return miss_l1_hit + miss_l2_hit + miss_l2_miss;
+    }
+};
+
+/** The baseline physical-cache MMU design. */
+class BaselineMmuSystem final : public GpuMemInterface
+{
+  public:
+    /**
+     * @param merge_tlb_misses  Merge concurrent per-CU TLB misses to the
+     *        same page into one IOMMU request (ablation; default off to
+     *        match the paper's accounting).
+     */
+    BaselineMmuSystem(SimContext &ctx, const SocConfig &cfg, Vm &vm,
+                      Dram &dram, bool merge_tlb_misses = false)
+        : ctx_(ctx), cfg_(cfg), vm_(vm), caches_(ctx, cfg, dram),
+          iommu_(ctx, vm, dram, cfg.iommu),
+          injection_(ctx, cfg.gpu.num_cus, cfg.cu_injection_rate),
+          merge_tlb_misses_(merge_tlb_misses)
+    {
+        tlbs_.reserve(cfg.gpu.num_cus);
+        for (unsigned i = 0; i < cfg.gpu.num_cus; ++i) {
+            tlbs_.push_back(std::make_unique<Tlb>(
+                TlbParams{cfg.percu_tlb_entries, cfg.percu_tlb_assoc,
+                          cfg.percu_tlb_infinite, cfg.track_lifetimes}));
+        }
+        vm.addPageShootdownListener([this](Asid asid, Vpn vpn) {
+            for (auto &tlb : tlbs_)
+                tlb->invalidatePage(asid, vpn, ctx_.now());
+        });
+        vm.addFullShootdownListener([this](Asid asid) {
+            for (auto &tlb : tlbs_)
+                tlb->invalidateAsid(asid, ctx_.now());
+        });
+    }
+
+    void
+    access(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
+           std::function<void()> done) override
+    {
+        injection_.inject(cu_id, [this, cu_id, asid, line_va, is_store,
+                                  done = std::move(done)]() mutable {
+            ctx_.eq.scheduleIn(
+                cfg_.percu_tlb_latency,
+                [this, cu_id, asid, line_va, is_store,
+                 done = std::move(done)]() mutable {
+                    afterTlb(cu_id, asid, line_va, is_store,
+                             std::move(done));
+                });
+        });
+    }
+
+    Tlb &perCuTlb(unsigned cu) { return *tlbs_[cu]; }
+    const Tlb &perCuTlb(unsigned cu) const { return *tlbs_[cu]; }
+    Iommu &iommu() { return iommu_; }
+    const Iommu &iommu() const { return iommu_; }
+    PhysCaches &caches() { return caches_; }
+    const PhysCaches &caches() const { return caches_; }
+    const TlbMissBreakdown &breakdown() const { return breakdown_; }
+
+    /** Aggregate per-CU TLB accesses across CUs. */
+    std::uint64_t
+    tlbAccesses() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &t : tlbs_)
+            n += t->accesses();
+        return n;
+    }
+
+    /** Aggregate per-CU TLB misses across CUs. */
+    std::uint64_t
+    tlbMisses() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &t : tlbs_)
+            n += t->misses();
+        return n;
+    }
+
+    double
+    tlbMissRatio() const
+    {
+        const auto acc = tlbAccesses();
+        return acc ? double(tlbMisses()) / double(acc) : 0.0;
+    }
+
+  private:
+    void
+    afterTlb(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
+             std::function<void()> done)
+    {
+        const Vpn vpn = pageOf(line_va);
+        if (auto hit = tlbs_[cu_id]->lookup(asid, vpn, ctx_.now())) {
+            proceed(cu_id, hit->ppn, line_va, is_store, std::move(done));
+            return;
+        }
+
+        if (cfg_.classify_tlb_misses)
+            classify(cu_id, asid, line_va);
+
+        if (merge_tlb_misses_) {
+            const std::uint64_t key =
+                (std::uint64_t(cu_id) << 56) |
+                (std::uint64_t(asid) << 40) | vpn;
+            auto it = pending_.find(key);
+            if (it != pending_.end()) {
+                it->second.push_back(Waiter{line_va, is_store,
+                                            std::move(done)});
+                return;
+            }
+            pending_[key].push_back(Waiter{line_va, is_store,
+                                           std::move(done)});
+            requestTranslation(cu_id, asid, vpn, key);
+            return;
+        }
+
+        // Unmerged: each miss is one IOMMU request (paper accounting).
+        ctx_.eq.scheduleIn(
+            cfg_.cu_to_iommu,
+            [this, cu_id, asid, vpn, line_va, is_store,
+             done = std::move(done)]() mutable {
+                iommu_.translate(
+                    asid, vpn,
+                    [this, cu_id, asid, vpn, line_va, is_store,
+                     done = std::move(done)](
+                        const IommuResponse &resp) mutable {
+                        ctx_.eq.scheduleIn(
+                            cfg_.cu_to_iommu,
+                            [this, cu_id, asid, vpn, line_va, is_store,
+                             resp, done = std::move(done)]() mutable {
+                                onTranslation(cu_id, asid, vpn, resp,
+                                              line_va, is_store,
+                                              std::move(done));
+                            });
+                    });
+            });
+    }
+
+    void
+    requestTranslation(unsigned cu_id, Asid asid, Vpn vpn,
+                       std::uint64_t key)
+    {
+        ctx_.eq.scheduleIn(cfg_.cu_to_iommu, [this, cu_id, asid, vpn,
+                                              key] {
+            iommu_.translate(asid, vpn, [this, cu_id, asid, vpn, key](
+                                            const IommuResponse &resp) {
+                ctx_.eq.scheduleIn(cfg_.cu_to_iommu,
+                                   [this, cu_id, asid, vpn, key, resp] {
+                                       completeMerged(cu_id, asid, vpn,
+                                                      key, resp);
+                                   });
+            });
+        });
+    }
+
+    void
+    completeMerged(unsigned cu_id, Asid asid, Vpn vpn, std::uint64_t key,
+                   const IommuResponse &resp)
+    {
+        installAndCheck(cu_id, asid, vpn, resp);
+        auto waiters = std::move(pending_[key]);
+        pending_.erase(key);
+        for (auto &w : waiters)
+            proceed(cu_id, resp.ppn, w.line_va, w.is_store,
+                    std::move(w.done));
+    }
+
+    void
+    onTranslation(unsigned cu_id, Asid asid, Vpn vpn,
+                  const IommuResponse &resp, Vaddr line_va, bool is_store,
+                  std::function<void()> done)
+    {
+        installAndCheck(cu_id, asid, vpn, resp);
+        proceed(cu_id, resp.ppn, line_va, is_store, std::move(done));
+    }
+
+    void
+    installAndCheck(unsigned cu_id, Asid asid, Vpn vpn,
+                    const IommuResponse &resp)
+    {
+        if (resp.fault)
+            fatal("BaselineMmuSystem: unhandled GPU page fault");
+        tlbs_[cu_id]->insert(asid, vpn,
+                             TlbLookup{resp.ppn, resp.perms, resp.large},
+                             ctx_.now());
+    }
+
+    void
+    proceed(unsigned cu_id, Ppn ppn, Vaddr line_va, bool is_store,
+            std::function<void()> done)
+    {
+        const Paddr line_pa =
+            pageBase(ppn) | (line_va & kPageMask & ~kLineMask);
+        caches_.accessL1(cu_id, line_pa, is_store, std::move(done));
+    }
+
+    /** Figure 2: classify a TLB miss by current data residency. */
+    void
+    classify(unsigned cu_id, Asid asid, Vaddr line_va)
+    {
+        const auto t = vm_.translate(asid, line_va);
+        if (!t)
+            return;
+        const Paddr line_pa =
+            pageBase(t->ppn) | (line_va & kPageMask & ~kLineMask);
+        if (caches_.l1(cu_id).present(0, line_pa))
+            ++breakdown_.miss_l1_hit;
+        else if (caches_.l2().present(0, line_pa))
+            ++breakdown_.miss_l2_hit;
+        else
+            ++breakdown_.miss_l2_miss;
+    }
+
+    struct Waiter
+    {
+        Vaddr line_va;
+        bool is_store;
+        std::function<void()> done;
+    };
+
+    SimContext &ctx_;
+    SocConfig cfg_;
+    Vm &vm_;
+    PhysCaches caches_;
+    Iommu iommu_;
+    CuInjectionPorts injection_;
+    bool merge_tlb_misses_;
+    std::vector<std::unique_ptr<Tlb>> tlbs_;
+    std::unordered_map<std::uint64_t, std::vector<Waiter>> pending_;
+    TlbMissBreakdown breakdown_;
+};
+
+} // namespace gvc
+
+#endif // GVC_MMU_BASELINE_SYSTEM_HH

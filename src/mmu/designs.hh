@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Named MMU designs (Table 2 of the paper, plus the Figure 10/11
+ * comparison points) and a uniform wrapper that builds any of them over
+ * a shared Vm/Dram so the harness can sweep designs.
+ */
+
+#ifndef GVC_MMU_DESIGNS_HH
+#define GVC_MMU_DESIGNS_HH
+
+#include <memory>
+#include <string>
+
+#include "core/virtual_hierarchy.hh"
+#include "mmu/baseline_system.hh"
+#include "mmu/ideal_system.hh"
+#include "mmu/l1vc_system.hh"
+#include "mmu/soc_config.hh"
+
+namespace gvc
+{
+
+/** The MMU designs evaluated in the paper. */
+enum class MmuDesign {
+    kIdeal,            ///< IDEAL MMU: free translation.
+    kBaseline512,      ///< 32-entry per-CU TLBs, 512-entry IOMMU TLB.
+    kBaseline16K,      ///< 32-entry per-CU TLBs, 16K-entry IOMMU TLB.
+    kBaselineLargeTlb, ///< 128-entry per-CU TLBs, 16K IOMMU (Fig. 10).
+    kVcNoOpt,          ///< Full VC hierarchy, 512-entry IOMMU TLB.
+    kVcOpt,            ///< Full VC + FBT as second-level TLB.
+    kL1Vc32,           ///< L1-only VC, 32-entry per-CU TLBs (Fig. 11).
+    kL1Vc128,          ///< L1-only VC, 128-entry per-CU TLBs (Fig. 11).
+};
+
+/** Human-readable design name (matches the paper's labels). */
+inline const char *
+designName(MmuDesign d)
+{
+    switch (d) {
+      case MmuDesign::kIdeal: return "IDEAL MMU";
+      case MmuDesign::kBaseline512: return "Baseline 512";
+      case MmuDesign::kBaseline16K: return "Baseline 16K";
+      case MmuDesign::kBaselineLargeTlb: return "Large per-CU TLBs";
+      case MmuDesign::kVcNoOpt: return "VC W/O OPT";
+      case MmuDesign::kVcOpt: return "VC With OPT";
+      case MmuDesign::kL1Vc32: return "L1-Only VC (32)";
+      case MmuDesign::kL1Vc128: return "L1-Only VC (128)";
+    }
+    return "?";
+}
+
+/** Specialize a base SocConfig for one design (Table 2). */
+inline SocConfig
+configFor(MmuDesign d, SocConfig cfg = {})
+{
+    switch (d) {
+      case MmuDesign::kIdeal:
+        cfg.percu_tlb_infinite = true;
+        cfg.iommu.tlb_infinite = true;
+        cfg.iommu.unlimited_bw = true;
+        break;
+      case MmuDesign::kBaseline512:
+        cfg.percu_tlb_entries = 32;
+        cfg.iommu.tlb_entries = 512;
+        break;
+      case MmuDesign::kBaseline16K:
+        cfg.percu_tlb_entries = 32;
+        cfg.iommu.tlb_entries = 16 * 1024;
+        break;
+      case MmuDesign::kBaselineLargeTlb:
+        cfg.percu_tlb_entries = 128;
+        cfg.iommu.tlb_entries = 16 * 1024;
+        break;
+      case MmuDesign::kVcNoOpt:
+        cfg.iommu.tlb_entries = 512;
+        cfg.fbt_as_second_level_tlb = false;
+        break;
+      case MmuDesign::kVcOpt:
+        cfg.iommu.tlb_entries = 512;
+        cfg.fbt_as_second_level_tlb = true;
+        break;
+      case MmuDesign::kL1Vc32:
+        cfg.percu_tlb_entries = 32;
+        cfg.iommu.tlb_entries = 16 * 1024;
+        break;
+      case MmuDesign::kL1Vc128:
+        cfg.percu_tlb_entries = 128;
+        cfg.iommu.tlb_entries = 16 * 1024;
+        break;
+    }
+    return cfg;
+}
+
+/** Table 2, rendered. */
+inline std::string
+designTable()
+{
+    return "Design            | Per-CU TLB | IOMMU TLB        | B/W Limit\n"
+           "------------------+------------+------------------+---------------\n"
+           "IDEAL MMU         | Infinite   | Infinite         | Infinite\n"
+           "Baseline 512      | 32-entry   | 512-entry        | 1 Access/Cycle\n"
+           "Baseline 16K      | 32-entry   | 16K-entry        | 1 Access/Cycle\n"
+           "VC W/O OPT        | -          | 512-entry        | 1 Access/Cycle\n"
+           "VC With OPT       | -          | +16K-entry FBT   | 1 Access/Cycle\n";
+}
+
+/** Owns whichever concrete system a design maps to. */
+class SystemUnderTest
+{
+  public:
+    SystemUnderTest(SimContext &ctx, const SocConfig &cfg, Vm &vm,
+                    Dram &dram, MmuDesign design)
+        : design_(design)
+    {
+        switch (design) {
+          case MmuDesign::kIdeal:
+            ideal_ = std::make_unique<IdealMmuSystem>(ctx, cfg, vm, dram);
+            break;
+          case MmuDesign::kBaseline512:
+          case MmuDesign::kBaseline16K:
+          case MmuDesign::kBaselineLargeTlb:
+            baseline_ = std::make_unique<BaselineMmuSystem>(ctx, cfg, vm,
+                                                            dram);
+            break;
+          case MmuDesign::kVcNoOpt:
+          case MmuDesign::kVcOpt:
+            vc_ = std::make_unique<VirtualCacheSystem>(ctx, cfg, vm,
+                                                       dram);
+            break;
+          case MmuDesign::kL1Vc32:
+          case MmuDesign::kL1Vc128:
+            l1vc_ = std::make_unique<L1OnlyVcSystem>(ctx, cfg, vm, dram);
+            break;
+        }
+    }
+
+    MmuDesign design() const { return design_; }
+
+    GpuMemInterface &
+    memIf()
+    {
+        if (ideal_)
+            return *ideal_;
+        if (baseline_)
+            return *baseline_;
+        if (vc_)
+            return *vc_;
+        return *l1vc_;
+    }
+
+    /** The shared IOMMU, when the design has one. */
+    Iommu *
+    iommu()
+    {
+        if (baseline_)
+            return &baseline_->iommu();
+        if (vc_)
+            return &vc_->iommu();
+        if (l1vc_)
+            return &l1vc_->iommu();
+        return nullptr;
+    }
+
+    IdealMmuSystem *ideal() { return ideal_.get(); }
+    BaselineMmuSystem *baseline() { return baseline_.get(); }
+    VirtualCacheSystem *vc() { return vc_.get(); }
+    L1OnlyVcSystem *l1vc() { return l1vc_.get(); }
+
+    void
+    flushLifetimes()
+    {
+        if (ideal_)
+            ideal_->caches().flushLifetimes();
+        if (baseline_)
+            baseline_->caches().flushLifetimes();
+        if (vc_)
+            vc_->flushLifetimes();
+        if (l1vc_)
+            l1vc_->caches().flushLifetimes();
+    }
+
+    /** Register this system's statistics under dotted names. */
+    void
+    registerStats(StatRegistry &reg)
+    {
+        if (Iommu *io = iommu()) {
+            reg.addScalar("iommu.accesses",
+                          [io] { return double(io->accesses()); });
+            reg.addScalar("iommu.walks",
+                          [io] { return double(io->walks()); });
+            reg.addScalar("iommu.faults",
+                          [io] { return double(io->faults()); });
+            reg.addScalar("iommu.serialization_cycles", [io] {
+                return double(io->serializationDelay());
+            });
+            reg.addScalar("iommu.tlb.hits", [io] {
+                return double(io->tlb().hits());
+            });
+            reg.addScalar("iommu.tlb.misses", [io] {
+                return double(io->tlb().misses());
+            });
+            reg.addScalar("iommu.pwc.hit_ratio", [io] {
+                return io->ptw().pwc().hitRatio();
+            });
+            reg.addScalar("iommu.ptw.mean_latency", [io] {
+                return io->ptw().meanLatency();
+            });
+        }
+        if (BaselineMmuSystem *b = baseline_.get()) {
+            reg.addScalar("percu_tlb.accesses", [b] {
+                return double(b->tlbAccesses());
+            });
+            reg.addScalar("percu_tlb.misses",
+                          [b] { return double(b->tlbMisses()); });
+            reg.addScalar("l2.hit_ratio", [b] {
+                return b->caches().l2().hitRatio();
+            });
+            reg.addScalar("directory.probes", [b] {
+                return double(b->caches().directory().probesSent());
+            });
+        }
+        if (VirtualCacheSystem *v = vc_.get()) {
+            reg.addScalar("fbt.bt_lookups", [v] {
+                return double(v->fbt().btLookups());
+            });
+            reg.addScalar("fbt.ft_hit_ratio",
+                          [v] { return v->fbt().ftHitRatio(); });
+            reg.addScalar("fbt.valid_pages", [v] {
+                return double(v->fbt().validEntries());
+            });
+            reg.addScalar("fbt.capacity_evictions", [v] {
+                return double(v->fbt().capacityEvictions());
+            });
+            reg.addScalar("vc.synonym_replays", [v] {
+                return double(v->synonymReplays());
+            });
+            reg.addScalar("vc.rw_faults",
+                          [v] { return double(v->rwFaults()); });
+            reg.addScalar("vc.l1_flushes",
+                          [v] { return double(v->l1Flushes()); });
+            reg.addScalar("vc.translation_merges", [v] {
+                return double(v->translationMerges());
+            });
+            reg.addScalar("vc.l2.hit_ratio",
+                          [v] { return v->l2().hitRatio(); });
+            reg.addScalar("directory.probes", [v] {
+                return double(v->directory().probesSent());
+            });
+            reg.addScalar("vc.probe_lines_filtered", [v] {
+                return double(v->probeLinesFiltered());
+            });
+        }
+        if (L1OnlyVcSystem *l = l1vc_.get()) {
+            reg.addScalar("l1vc.synonym_replays", [l] {
+                return double(l->synonymReplays());
+            });
+            reg.addScalar("l1vc.registry_lines", [l] {
+                return double(l->registry().size());
+            });
+        }
+    }
+
+  private:
+    MmuDesign design_;
+    std::unique_ptr<IdealMmuSystem> ideal_;
+    std::unique_ptr<BaselineMmuSystem> baseline_;
+    std::unique_ptr<VirtualCacheSystem> vc_;
+    std::unique_ptr<L1OnlyVcSystem> l1vc_;
+};
+
+} // namespace gvc
+
+#endif // GVC_MMU_DESIGNS_HH

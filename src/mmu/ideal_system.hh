@@ -1,0 +1,59 @@
+/**
+ * @file
+ * IDEAL MMU design (§3, Figure 4): translation with infinite capacity,
+ * infinite bandwidth, and minimal latency.  Modeled as free, immediate
+ * translation in front of the physical cache pipeline, which upper-bounds
+ * every realizable MMU and matches the paper's normalization target.
+ */
+
+#ifndef GVC_MMU_IDEAL_SYSTEM_HH
+#define GVC_MMU_IDEAL_SYSTEM_HH
+
+#include <functional>
+
+#include "gpu/cu.hh"
+#include "mem/vm.hh"
+#include "mmu/injection.hh"
+#include "mmu/phys_caches.hh"
+
+namespace gvc
+{
+
+/** Physical hierarchy with zero-cost address translation. */
+class IdealMmuSystem final : public GpuMemInterface
+{
+  public:
+    IdealMmuSystem(SimContext &ctx, const SocConfig &cfg, Vm &vm,
+                   Dram &dram)
+        : vm_(vm), caches_(ctx, cfg, dram),
+          injection_(ctx, cfg.gpu.num_cus, cfg.cu_injection_rate)
+    {
+    }
+
+    void
+    access(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
+           std::function<void()> done) override
+    {
+        const auto t = vm_.translate(asid, line_va);
+        if (!t)
+            fatal("IdealMmuSystem: access to unmapped address");
+        const Paddr line_pa =
+            pageBase(t->ppn) | (line_va & kPageMask & ~kLineMask);
+        injection_.inject(cu_id, [this, cu_id, line_pa, is_store,
+                                  done = std::move(done)]() mutable {
+            caches_.accessL1(cu_id, line_pa, is_store, std::move(done));
+        });
+    }
+
+    PhysCaches &caches() { return caches_; }
+    const PhysCaches &caches() const { return caches_; }
+
+  private:
+    Vm &vm_;
+    PhysCaches caches_;
+    CuInjectionPorts injection_;
+};
+
+} // namespace gvc
+
+#endif // GVC_MMU_IDEAL_SYSTEM_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Whole-SoC configuration (Table 1 of the paper, plus the latency
+ * parameters §5 specifies: 10-cycle GPU-L2<->FBT interconnect, 5-cycle
+ * FBT lookup).  All experiments are expressed as variations of this
+ * structure; mmu/designs.hh builds the paper's named designs from it.
+ */
+
+#ifndef GVC_MMU_SOC_CONFIG_HH
+#define GVC_MMU_SOC_CONFIG_HH
+
+#include <cstdint>
+
+#include "core/fbt.hh"
+#include "gpu/cu.hh"
+#include "mem/dram.hh"
+#include "tlb/iommu.hh"
+
+namespace gvc
+{
+
+/** Full system configuration. */
+struct SocConfig
+{
+    /** GPU organization: 16 CUs x 32 lanes (Table 1). */
+    GpuParams gpu;
+
+    // --- GPU caches (Table 1) ---
+    std::uint64_t l1_size = 32 * 1024; ///< Per-CU, write-through no alloc.
+    unsigned l1_assoc = 8;
+    std::uint64_t l2_size = 2 * 1024 * 1024; ///< Shared, write-back.
+    unsigned l2_assoc = 16;
+    unsigned l2_banks = 8;
+
+    // --- Latencies (cycles at the 700 MHz GPU clock) ---
+    Tick l1_latency = 4;
+    Tick cu_to_l2 = 10;    ///< Dance-hall NoC hop, each way.
+    Tick l2_latency = 16;  ///< Bank access once the port is won.
+    Tick l2_to_dir = 10;   ///< L2 to directory hop.
+    Tick dir_latency = 30; ///< Directory occupancy.
+    /**
+     * Per-CU-TLB-miss request path to the IOMMU, each way.  IOMMU
+     * requests use the PCIe protocol even on-die (§2.1), so this is much
+     * longer than the on-chip hops.
+     */
+    Tick cu_to_iommu = 80;
+    Tick l2_to_iommu = 10; ///< VC design: GPU L2 <-> FBT (§5: 10 cycles).
+    Tick fbt_latency = 5;  ///< FBT lookup (§5: 5 cycles).
+    Tick percu_tlb_latency = 1;
+
+    // --- Translation structures ---
+    unsigned percu_tlb_entries = 32; ///< Fully associative (Table 1).
+    unsigned percu_tlb_assoc = 0;    ///< 0 = fully associative.
+    bool percu_tlb_infinite = false;
+    IommuParams iommu;
+    FbtParams fbt;
+    /** Use the FBT as a second-level TLB ("VC With OPT"). */
+    bool fbt_as_second_level_tlb = false;
+    /**
+     * Dynamic synonym remapping table entries (§4.3 extension for
+     * synonym-heavy future systems); 0 disables it.
+     */
+    unsigned synonym_remap_entries = 0;
+
+    /**
+     * Dance-hall NoC injection limit: line requests a CU can inject
+     * per cycle (0 = unlimited, the default used for the paper-figure
+     * calibration).  When set, a divergent 32-line memory instruction
+     * injects over 32/rate cycles instead of instantaneously.
+     */
+    double cu_injection_rate = 0.0;
+
+    // --- Memory ---
+    Dram::Params dram; ///< 192 GB/s @ 700 MHz ≈ 274 B/cycle (Table 1).
+    std::uint64_t phys_mem_bytes = std::uint64_t{4} << 30;
+
+    // --- Instrumentation ---
+    /** Record TLB-entry and cache-line lifetimes (Figure 12). */
+    bool track_lifetimes = false;
+    /** Classify per-CU TLB misses by cache residency (Figure 2). */
+    bool classify_tlb_misses = true;
+};
+
+} // namespace gvc
+
+#endif // GVC_MMU_SOC_CONFIG_HH

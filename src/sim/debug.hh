@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Runtime debug tracing, gem5-DPRINTF style: categories are enabled
+ * through the GVC_DEBUG environment variable (comma-separated, or
+ * "all"), and each trace line is prefixed with the current tick and
+ * its category.  Tracing costs one branch when disabled.
+ *
+ *   GVC_DEBUG=iommu,fbt ./build/tools/gvc_run -w bfs -d vc-opt
+ */
+
+#ifndef GVC_SIM_DEBUG_HH
+#define GVC_SIM_DEBUG_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace gvc
+{
+
+/** Trace categories. */
+enum class DebugFlag : unsigned {
+    kEvent = 0,
+    kTlb,
+    kIommu,
+    kPtw,
+    kCache,
+    kFbt,
+    kVc,
+    kCu,
+    kDirectory,
+    kNumFlags,
+};
+
+namespace debug
+{
+
+/** Category names, aligned with DebugFlag. */
+inline const char *const kFlagNames[] = {
+    "event", "tlb", "iommu", "ptw", "cache", "fbt", "vc", "cu",
+    "directory",
+};
+
+/** Enabled mask parsed from GVC_DEBUG (lazily, once). */
+inline unsigned
+enabledMask()
+{
+    static const unsigned mask = [] {
+        const char *env = std::getenv("GVC_DEBUG");
+        if (!env || !*env)
+            return 0u;
+        unsigned m = 0;
+        const std::string spec(env);
+        if (spec == "all")
+            return ~0u;
+        std::size_t pos = 0;
+        while (pos < spec.size()) {
+            std::size_t comma = spec.find(',', pos);
+            if (comma == std::string::npos)
+                comma = spec.size();
+            const std::string item = spec.substr(pos, comma - pos);
+            for (unsigned f = 0;
+                 f < unsigned(DebugFlag::kNumFlags); ++f) {
+                if (item == kFlagNames[f])
+                    m |= 1u << f;
+            }
+            pos = comma + 1;
+        }
+        return m;
+    }();
+    return mask;
+}
+
+inline bool
+enabled(DebugFlag flag)
+{
+    return (enabledMask() >> unsigned(flag)) & 1u;
+}
+
+/** Print one trace line: "<tick>: <category>: <message>". */
+inline void
+print(DebugFlag flag, Tick now, const char *fmt, ...)
+{
+    std::fprintf(stderr, "%10llu: %s: ", (unsigned long long)now,
+                 kFlagNames[unsigned(flag)]);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace debug
+
+/** Trace macro: evaluates arguments only when the flag is enabled. */
+#define GVC_DPRINTF(flag, now, ...)                                    \
+    do {                                                               \
+        if (gvc::debug::enabled(gvc::DebugFlag::flag))                 \
+            gvc::debug::print(gvc::DebugFlag::flag, (now),             \
+                              __VA_ARGS__);                            \
+    } while (0)
+
+} // namespace gvc
+
+#endif // GVC_SIM_DEBUG_HH

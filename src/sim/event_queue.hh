@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The entire simulator advances through a single EventQueue: components
+ * schedule callbacks at absolute ticks and the queue executes them in
+ * (tick, insertion-order) order, which makes every run deterministic.
+ * Idle cycles are skipped, so simulated time can advance arbitrarily fast
+ * when nothing is happening.
+ */
+
+#ifndef GVC_SIM_EVENT_QUEUE_HH
+#define GVC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace gvc
+{
+
+/**
+ * A time-ordered queue of callbacks.  Ties at the same tick execute in
+ * scheduling order (FIFO), which keeps pipelines well-defined without
+ * explicit priorities.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of events executed since construction/reset. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     * Scheduling in the past is a simulator bug.
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        if (when < now_)
+            panic("EventQueue: scheduling event in the past");
+        heap_.push(Entry{when, next_seq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Execute events until the queue is empty or @p max_events have run.
+     * @return number of events executed by this call.
+     */
+    std::uint64_t
+    run(std::uint64_t max_events = ~std::uint64_t{0})
+    {
+        std::uint64_t n = 0;
+        while (!heap_.empty() && n < max_events) {
+            step();
+            ++n;
+        }
+        return n;
+    }
+
+    /**
+     * Execute all events with tick <= @p until, then advance time to
+     * @p until even if the queue drained early.
+     */
+    void
+    runUntil(Tick until)
+    {
+        while (!heap_.empty() && heap_.top().when <= until)
+            step();
+        if (now_ < until)
+            now_ = until;
+    }
+
+    /** Drop all pending events and rewind time to zero. */
+    void
+    reset()
+    {
+        heap_ = {};
+        now_ = 0;
+        next_seq_ = 0;
+        executed_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    void
+    step()
+    {
+        // Move the entry out before popping so the callback may schedule
+        // further events (which can reallocate the heap) safely.
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = e.when;
+        ++executed_;
+        e.cb();
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace gvc
+
+#endif // GVC_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: fatal() for user errors,
+ * panic() for simulator bugs, warn()/inform() for status messages.
+ */
+
+#ifndef GVC_SIM_LOGGING_HH
+#define GVC_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace gvc
+{
+
+namespace detail
+{
+
+[[noreturn]] inline void
+die(const char *kind, const std::string &msg, bool core_dump)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+    if (core_dump)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+/**
+ * Report a condition that is the user's fault (bad configuration, invalid
+ * arguments) and terminate with a normal error exit.
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    detail::die("fatal", msg, false);
+}
+
+/**
+ * Report a condition that should never happen regardless of user input
+ * (a simulator bug) and abort.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    detail::die("panic", msg, true);
+}
+
+/** Non-fatal warning about questionable but survivable conditions. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Informational status message. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/** panic() unless @p cond holds; used for internal invariants. */
+inline void
+panicIfNot(bool cond, const char *what)
+{
+    if (!cond)
+        panic(std::string("invariant violated: ") + what);
+}
+
+} // namespace gvc
+
+#endif // GVC_SIM_LOGGING_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * SimContext bundles the shared per-simulation services (event queue,
+ * statistics registry, RNG) so components take a single dependency.
+ */
+
+#ifndef GVC_SIM_SIM_CONTEXT_HH
+#define GVC_SIM_SIM_CONTEXT_HH
+
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace gvc
+{
+
+/** Shared services for one simulation instance. */
+struct SimContext
+{
+    explicit SimContext(std::uint64_t seed = 1) : rng(seed) {}
+
+    EventQueue eq;
+    StatRegistry stats;
+    Rng rng;
+
+    Tick now() const { return eq.now(); }
+};
+
+} // namespace gvc
+
+#endif // GVC_SIM_SIM_CONTEXT_HH

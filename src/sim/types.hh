@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Fundamental types and address-arithmetic helpers shared by every module.
+ *
+ * The simulator models time in GPU clock cycles ("ticks").  Addresses are
+ * 64-bit; both virtual and physical addresses use distinct aliases so that
+ * interfaces document which space they operate in (the compiler does not
+ * enforce the distinction, the names are for readers).
+ */
+
+#ifndef GVC_SIM_TYPES_HH
+#define GVC_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace gvc
+{
+
+/** Simulation time in GPU core cycles. */
+using Tick = std::uint64_t;
+
+/** A virtual address. */
+using Vaddr = std::uint64_t;
+
+/** A physical address. */
+using Paddr = std::uint64_t;
+
+/** Address space identifier (one per process / GPU context). */
+using Asid = std::uint16_t;
+
+/** Virtual page number. */
+using Vpn = std::uint64_t;
+
+/** Physical page number (frame number). */
+using Ppn = std::uint64_t;
+
+/** Invalid/sentinel values. */
+inline constexpr std::uint64_t kInvalidAddr = ~std::uint64_t{0};
+inline constexpr Ppn kInvalidPpn = ~Ppn{0};
+inline constexpr Vpn kInvalidVpn = ~Vpn{0};
+
+/** Base (small) page geometry: 4 KB pages. */
+inline constexpr unsigned kPageShift = 12;
+inline constexpr std::uint64_t kPageSize = std::uint64_t{1} << kPageShift;
+inline constexpr std::uint64_t kPageMask = kPageSize - 1;
+
+/** Large page geometry: 2 MB pages. */
+inline constexpr unsigned kLargePageShift = 21;
+inline constexpr std::uint64_t kLargePageSize =
+    std::uint64_t{1} << kLargePageShift;
+
+/** Cache line geometry: 128 B lines (Table 1 of the paper). */
+inline constexpr unsigned kLineShift = 7;
+inline constexpr std::uint64_t kLineSize = std::uint64_t{1} << kLineShift;
+inline constexpr std::uint64_t kLineMask = kLineSize - 1;
+
+/** Lines per 4 KB page: sizes the FBT bit vectors (32 bits). */
+inline constexpr unsigned kLinesPerPage =
+    unsigned(kPageSize / kLineSize);
+
+/** Extract the virtual page number of a virtual address. */
+constexpr Vpn
+pageOf(Vaddr va)
+{
+    return va >> kPageShift;
+}
+
+/** Extract the physical page number of a physical address. */
+constexpr Ppn
+frameOf(Paddr pa)
+{
+    return pa >> kPageShift;
+}
+
+/** Byte offset of an address within its 4 KB page. */
+constexpr std::uint64_t
+pageOffset(std::uint64_t addr)
+{
+    return addr & kPageMask;
+}
+
+/** Align an address down to its 128 B line. */
+constexpr std::uint64_t
+lineAlign(std::uint64_t addr)
+{
+    return addr & ~kLineMask;
+}
+
+/** Index of an address's line within its 4 KB page (0..31). */
+constexpr unsigned
+lineInPage(std::uint64_t addr)
+{
+    return unsigned((addr & kPageMask) >> kLineShift);
+}
+
+/** First byte of a page given its page number. */
+constexpr std::uint64_t
+pageBase(std::uint64_t pn)
+{
+    return pn << kPageShift;
+}
+
+/** Access permissions carried by page-table entries and virtual-cache
+ *  lines.  Modeled as a small bitmask. */
+enum PermBits : std::uint8_t {
+    kPermNone  = 0,
+    kPermRead  = 1 << 0,
+    kPermWrite = 1 << 1,
+    kPermExec  = 1 << 2,
+};
+
+using Perms = std::uint8_t;
+
+/** True iff @p have covers everything @p need requests. */
+constexpr bool
+permsAllow(Perms have, Perms need)
+{
+    return (have & need) == need;
+}
+
+} // namespace gvc
+
+#endif // GVC_SIM_TYPES_HH

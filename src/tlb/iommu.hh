@@ -1,0 +1,286 @@
+/**
+ * @file
+ * IOMMU front end: the shared translation structure whose bandwidth the
+ * paper identifies as the bottleneck.
+ *
+ * The shared TLB is modeled as a single rate-limited port (Table 1 /
+ * footnote 2: up to one access per cycle; Figure 5 sweeps 1..4).
+ * Requests that find the port busy queue up; the resulting waiting time
+ * is the paper's "serialization overhead".  Misses consult an optional
+ * second-level structure (the FBT, when the virtual-cache design installs
+ * it) and then the multi-threaded page-table walker.
+ */
+
+#ifndef GVC_TLB_IOMMU_HH
+#define GVC_TLB_IOMMU_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mem/dram.hh"
+#include "mem/vm.hh"
+#include "sim/debug.hh"
+#include "sim/sim_context.hh"
+#include "tlb/ptw.hh"
+#include "tlb/tlb.hh"
+
+namespace gvc
+{
+
+/** IOMMU configuration. */
+struct IommuParams
+{
+    unsigned tlb_entries = 512;
+    unsigned tlb_assoc = 8;
+    bool tlb_infinite = false;
+
+    /** Peak shared-TLB bandwidth per bank; ignored when unlimited_bw. */
+    double accesses_per_cycle = 1.0;
+    /** Remove the port limit entirely (IDEAL MMU, Figure 3 probe runs). */
+    bool unlimited_bw = false;
+    /**
+     * Multi-banked shared TLB (§3.2 discussion): each bank has its own
+     * port.  Banks are selected by higher-order VPN bits, which is why
+     * the paper observes frequent conflicts for clustered footprints.
+     */
+    unsigned banks = 1;
+    /** VPN bits skipped before the bank-select modulo. */
+    unsigned bank_select_shift = 4;
+
+    /** Shared TLB lookup latency once the port is won. */
+    Tick tlb_latency = 4;
+    /** Lookup latency of the second-level structure (FBT: 5 cycles). */
+    Tick second_level_latency = 5;
+    /** CPU page-fault service latency (minor fault fix-up). */
+    Tick fault_latency = 20000;
+
+    PtwParams ptw;
+
+    /** Sampling window for access-rate stats: 1 µs at 700 MHz. */
+    Tick sample_window = 700;
+};
+
+/** Response delivered to the requester. */
+struct IommuResponse
+{
+    bool fault = false;
+    Ppn ppn = kInvalidPpn;
+    Perms perms = kPermNone;
+    bool large = false;
+};
+
+/**
+ * The IOMMU.  translate() is asynchronous; the response callback runs at
+ * the time the translation (or fault) completes, excluding interconnect
+ * latency, which callers model.
+ */
+class Iommu
+{
+  public:
+    using DoneFn = std::function<void(const IommuResponse &)>;
+    /** Functional second-level lookup (the FBT's forward table). */
+    using SecondLevelFn =
+        std::function<std::optional<TlbLookup>(Asid, Vpn)>;
+    /** Returns true when the fault was repaired and the walk may retry. */
+    using FaultFixFn = std::function<bool(Asid, Vpn)>;
+
+    Iommu(SimContext &ctx, Vm &vm, Dram &dram, const IommuParams &params)
+        : ctx_(ctx), params_(params),
+          tlb_(TlbParams{params.tlb_entries, params.tlb_assoc,
+                         params.tlb_infinite, false}),
+          ptw_(ctx, vm, dram, params.ptw),
+          sampler_(params.sample_window),
+          port_fp_per_access_(params.unlimited_bw
+                                  ? 0
+                                  : std::uint64_t(double(kFpScale) /
+                                                  params.accesses_per_cycle)),
+          port_free_fp_(params.banks ? params.banks : 1, 0)
+    {
+        vm.addPageShootdownListener(
+            [this](Asid asid, Vpn vpn) { invalidatePage(asid, vpn); });
+        vm.addFullShootdownListener(
+            [this](Asid asid) { tlb_.invalidateAsid(asid, ctx_.now()); });
+    }
+
+    /** Request a translation of (asid, vpn). */
+    void
+    translate(Asid asid, Vpn vpn, DoneFn done)
+    {
+        ++accesses_;
+        sampler_.record(ctx_.now());
+
+        // Arbitrate for the shared TLB port (per bank when banked).
+        Tick start = ctx_.now();
+        if (!params_.unlimited_bw) {
+            const std::size_t bank =
+                (vpn >> params_.bank_select_shift) %
+                port_free_fp_.size();
+            std::uint64_t &free_fp = port_free_fp_[bank];
+            const std::uint64_t now_fp = ctx_.now() * kFpScale;
+            const std::uint64_t start_fp =
+                free_fp > now_fp ? free_fp : now_fp;
+            if (free_fp > now_fp)
+                ++bank_conflicts_;
+            free_fp = start_fp + port_fp_per_access_;
+            start = start_fp / kFpScale;
+            serialization_delay_ += start - ctx_.now();
+        }
+        const Tick lookup_done = start + params_.tlb_latency;
+        ctx_.eq.schedule(lookup_done,
+                         [this, asid, vpn, done = std::move(done)]() mutable {
+                             afterTlbLookup(asid, vpn, std::move(done));
+                         });
+    }
+
+    /** Install the FBT (or other) second-level translation source. */
+    void
+    setSecondLevel(SecondLevelFn fn)
+    {
+        second_level_ = std::move(fn);
+    }
+
+    /** Install a page-fault fixer (CPU-side demand handler). */
+    void
+    setFaultFixer(FaultFixFn fn)
+    {
+        fault_fixer_ = std::move(fn);
+    }
+
+    void
+    invalidatePage(Asid asid, Vpn vpn)
+    {
+        tlb_.invalidatePage(asid, vpn, ctx_.now());
+    }
+
+    void invalidateAll() { tlb_.invalidateAll(ctx_.now()); }
+
+    Tlb &tlb() { return tlb_; }
+    PageTableWalker &ptw() { return ptw_; }
+    IntervalSampler &sampler() { return sampler_; }
+    const IntervalSampler &sampler() const { return sampler_; }
+
+    std::uint64_t accesses() const { return accesses_.value; }
+    std::uint64_t secondLevelHits() const { return sl_hits_.value; }
+    std::uint64_t secondLevelLookups() const { return sl_lookups_.value; }
+    std::uint64_t walks() const { return walks_.value; }
+    std::uint64_t faults() const { return faults_.value; }
+
+    /** Total cycles requests spent waiting for the shared TLB port. */
+    std::uint64_t
+    serializationDelay() const
+    {
+        return serialization_delay_.value;
+    }
+
+    double
+    meanSerializationDelay() const
+    {
+        return accesses_.value
+            ? double(serialization_delay_.value) / double(accesses_.value)
+            : 0.0;
+    }
+
+    /** Accesses that found their bank busy (banked configurations). */
+    std::uint64_t bankConflicts() const { return bank_conflicts_.value; }
+
+  private:
+    static constexpr std::uint64_t kFpScale = 1024;
+
+    void
+    afterTlbLookup(Asid asid, Vpn vpn, DoneFn done)
+    {
+        if (auto hit = tlb_.lookup(asid, vpn, ctx_.now())) {
+            done(IommuResponse{false, hit->ppn, hit->perms, hit->large});
+            return;
+        }
+        GVC_DPRINTF(kIommu, ctx_.now(),
+                    "shared TLB miss asid=%u vpn=%#llx", unsigned(asid),
+                    (unsigned long long)vpn);
+        if (second_level_) {
+            ++sl_lookups_;
+            ctx_.eq.scheduleIn(
+                params_.second_level_latency,
+                [this, asid, vpn, done = std::move(done)]() mutable {
+                    if (auto hit = second_level_(asid, vpn)) {
+                        ++sl_hits_;
+                        tlb_.insert(asid, vpn, *hit, ctx_.now());
+                        done(IommuResponse{false, hit->ppn, hit->perms,
+                                           hit->large});
+                    } else {
+                        startWalk(asid, vpn, std::move(done));
+                    }
+                });
+            return;
+        }
+        startWalk(asid, vpn, std::move(done));
+    }
+
+    void
+    startWalk(Asid asid, Vpn vpn, DoneFn done)
+    {
+        ++walks_;
+        GVC_DPRINTF(kIommu, ctx_.now(), "walk asid=%u vpn=%#llx",
+                    unsigned(asid), (unsigned long long)vpn);
+        ptw_.walk(asid, vpn,
+                  [this, asid, vpn, done = std::move(done)](
+                      std::optional<Translation> t) mutable {
+                      walkDone(asid, vpn, std::move(done), t, false);
+                  });
+    }
+
+    void
+    walkDone(Asid asid, Vpn vpn, DoneFn done,
+             std::optional<Translation> t, bool retried)
+    {
+        if (!t) {
+            ++faults_;
+            if (fault_fixer_ && !retried && fault_fixer_(asid, vpn)) {
+                // The CPU repaired the mapping; retry the walk after the
+                // fault-service latency.
+                ctx_.eq.scheduleIn(
+                    params_.fault_latency,
+                    [this, asid, vpn, done = std::move(done)]() mutable {
+                        ptw_.walk(asid, vpn,
+                                  [this, asid, vpn,
+                                   done = std::move(done)](
+                                      std::optional<Translation> t2) mutable {
+                                      walkDone(asid, vpn, std::move(done),
+                                               t2, true);
+                                  });
+                    });
+                return;
+            }
+            done(IommuResponse{true, kInvalidPpn, kPermNone, false});
+            return;
+        }
+        const TlbLookup fill{t->ppn, t->perms, t->large};
+        tlb_.insert(asid, vpn, fill, ctx_.now());
+        done(IommuResponse{false, t->ppn, t->perms, t->large});
+    }
+
+    SimContext &ctx_;
+    IommuParams params_;
+    Tlb tlb_;
+    PageTableWalker ptw_;
+    IntervalSampler sampler_;
+
+    std::uint64_t port_fp_per_access_;
+    std::vector<std::uint64_t> port_free_fp_;
+
+    SecondLevelFn second_level_;
+    FaultFixFn fault_fixer_;
+
+    Counter accesses_;
+    Counter sl_lookups_;
+    Counter sl_hits_;
+    Counter walks_;
+    Counter faults_;
+    Counter serialization_delay_;
+    Counter bank_conflicts_;
+};
+
+} // namespace gvc
+
+#endif // GVC_TLB_IOMMU_HH

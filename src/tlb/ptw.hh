@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Multi-threaded hardware page-table walker (Table 1: 16 concurrent
+ * walks) with a shared page-walk cache.  Each walk visits the real PTE
+ * addresses produced by the process page table; upper-level hits in the
+ * PWC skip the memory access for that level.
+ */
+
+#ifndef GVC_TLB_PTW_HH
+#define GVC_TLB_PTW_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "mem/dram.hh"
+#include "mem/vm.hh"
+#include "sim/sim_context.hh"
+#include "tlb/pwc.hh"
+
+namespace gvc
+{
+
+/** Configuration for the walker. */
+struct PtwParams
+{
+    /** Maximum concurrent walks; further requests queue FIFO. */
+    unsigned max_concurrent = 16;
+    /** Latency of a PWC hit, cycles. */
+    Tick pwc_hit_latency = 2;
+    /** Fixed pipeline latency to start a walk. */
+    Tick dispatch_latency = 2;
+};
+
+/**
+ * The walker.  walk() is asynchronous; completion (or fault, signalled by
+ * an empty optional) is delivered through the callback.
+ */
+class PageTableWalker
+{
+  public:
+    using DoneFn = std::function<void(std::optional<Translation>)>;
+
+    PageTableWalker(SimContext &ctx, Vm &vm, Dram &dram,
+                    const PtwParams &params = {})
+        : ctx_(ctx), vm_(vm), dram_(dram), params_(params)
+    {
+    }
+
+    /** Begin a walk of (asid, vpn); @p done fires at completion time. */
+    void
+    walk(Asid asid, Vpn vpn, DoneFn done)
+    {
+        ++requests_;
+        pending_.push_back(
+            Request{asid, vpn, std::move(done), ctx_.now()});
+        pump();
+    }
+
+    PageWalkCache &pwc() { return pwc_; }
+    const PageWalkCache &pwc() const { return pwc_; }
+
+    std::uint64_t requests() const { return requests_.value; }
+    std::uint64_t completed() const { return completed_.value; }
+    unsigned active() const { return active_; }
+
+    /** Mean cycles from walk() to completion (includes queueing). */
+    double
+    meanLatency() const
+    {
+        return completed_.value
+            ? double(latency_sum_.value) / double(completed_.value)
+            : 0.0;
+    }
+
+  private:
+    struct Request
+    {
+        Asid asid;
+        Vpn vpn;
+        DoneFn done;
+        Tick issued;
+    };
+
+    struct WalkState
+    {
+        Request req;
+        WalkPath path;
+        unsigned level = 0;
+    };
+
+    /** Start queued walks while thread slots are free. */
+    void
+    pump()
+    {
+        while (active_ < params_.max_concurrent && !pending_.empty()) {
+            auto state = std::make_shared<WalkState>();
+            state->req = std::move(pending_.front());
+            pending_.pop_front();
+            ++active_;
+            state->path =
+                vm_.pageTable(state->req.asid).walk(state->req.vpn);
+            ctx_.eq.scheduleIn(params_.dispatch_latency,
+                               [this, state] { step(state); });
+        }
+    }
+
+    /** Process one level of the walk, then recurse via events. */
+    void
+    step(const std::shared_ptr<WalkState> &state)
+    {
+        if (state->level >= state->path.levels) {
+            finish(state);
+            return;
+        }
+        const Paddr pte = state->path.pte_addrs[state->level];
+        ++state->level;
+        // The PWC holds upper-level entries only (PML4E/PDPTE/PDE, as
+        // in real designs); the leaf PTE access always goes to memory.
+        const bool leaf = state->level == state->path.levels &&
+                          state->path.result.has_value();
+        if (!leaf && pwc_.lookup(pte)) {
+            ctx_.eq.scheduleIn(params_.pwc_hit_latency,
+                               [this, state] { step(state); });
+        } else {
+            dram_.access(kPteFetchBytes, [this, state, pte, leaf] {
+                if (!leaf)
+                    pwc_.insert(pte);
+                step(state);
+            });
+        }
+    }
+
+    void
+    finish(const std::shared_ptr<WalkState> &state)
+    {
+        ++completed_;
+        latency_sum_ += ctx_.now() - state->req.issued;
+        --active_;
+        // Hand the slot to a queued walk before delivering the result so
+        // completion callbacks observe a fully-consistent walker.
+        pump();
+        state->req.done(state->path.result);
+    }
+
+    /** A PTE fetch moves one page-table line. */
+    static constexpr std::uint64_t kPteFetchBytes = 64;
+
+    SimContext &ctx_;
+    Vm &vm_;
+    Dram &dram_;
+    PtwParams params_;
+    PageWalkCache pwc_;
+    std::deque<Request> pending_;
+    unsigned active_ = 0;
+    Counter requests_;
+    Counter completed_;
+    Counter latency_sum_;
+};
+
+} // namespace gvc
+
+#endif // GVC_TLB_PTW_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Page-walk cache: a small physical cache over page-table entries that
+ * lets the walker skip memory accesses for recently-used upper levels
+ * (Table 1: 8 KB).  Modeled as a set-associative cache of 64 B page-table
+ * lines, which captures the strong spatial locality of PTE accesses.
+ */
+
+#ifndef GVC_TLB_PWC_HH
+#define GVC_TLB_PWC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gvc
+{
+
+/** Cache of page-table lines keyed by PTE physical address. */
+class PageWalkCache
+{
+  public:
+    /**
+     * @param capacity_bytes  Total capacity (paper: 8 KB).
+     * @param assoc           Set associativity.
+     */
+    explicit PageWalkCache(std::uint64_t capacity_bytes = 8 * 1024,
+                           unsigned assoc = 8)
+    {
+        const std::uint64_t lines = capacity_bytes / kPtLineBytes;
+        num_sets_ = unsigned(lines / assoc);
+        if (num_sets_ == 0)
+            num_sets_ = 1;
+        assoc_ = unsigned(lines / num_sets_);
+        sets_.resize(num_sets_);
+    }
+
+    /** Look up the line containing @p pte_addr; true on hit. */
+    bool
+    lookup(Paddr pte_addr)
+    {
+        ++accesses_;
+        const std::uint64_t tag = lineTag(pte_addr);
+        auto &set = sets_[tag % num_sets_];
+        for (auto &e : set) {
+            if (e.tag == tag) {
+                ++hits_;
+                e.lru = ++lru_clock_;
+                return true;
+            }
+        }
+        ++misses_;
+        return false;
+    }
+
+    /** Install the line containing @p pte_addr. */
+    void
+    insert(Paddr pte_addr)
+    {
+        const std::uint64_t tag = lineTag(pte_addr);
+        auto &set = sets_[tag % num_sets_];
+        for (auto &e : set)
+            if (e.tag == tag)
+                return;
+        if (set.size() < assoc_) {
+            set.push_back({tag, ++lru_clock_});
+            return;
+        }
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < set.size(); ++i)
+            if (set[i].lru < set[victim].lru)
+                victim = i;
+        set[victim] = {tag, ++lru_clock_};
+    }
+
+    /** Drop everything (page-table modification). */
+    void
+    invalidateAll()
+    {
+        for (auto &set : sets_)
+            set.clear();
+    }
+
+    std::uint64_t accesses() const { return accesses_.value; }
+    std::uint64_t hits() const { return hits_.value; }
+
+    double
+    hitRatio() const
+    {
+        return accesses_.value
+            ? double(hits_.value) / double(accesses_.value)
+            : 0.0;
+    }
+
+  private:
+    /** Page-table line granularity (8 PTEs of 8 bytes). */
+    static constexpr std::uint64_t kPtLineBytes = 64;
+
+    struct Entry
+    {
+        std::uint64_t tag;
+        std::uint64_t lru;
+    };
+
+    static std::uint64_t
+    lineTag(Paddr pte_addr)
+    {
+        return pte_addr / kPtLineBytes;
+    }
+
+    unsigned num_sets_ = 1;
+    unsigned assoc_ = 8;
+    std::vector<std::vector<Entry>> sets_;
+    std::uint64_t lru_clock_ = 0;
+    Counter accesses_;
+    Counter hits_;
+    Counter misses_;
+};
+
+} // namespace gvc
+
+#endif // GVC_TLB_PWC_HH

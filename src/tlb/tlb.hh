@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Set-associative TLB with true-LRU replacement, ASID tags, optional
+ * infinite capacity (for the paper's "infinite" per-CU TLB experiments),
+ * and entry-lifetime recording (Figure 12).
+ */
+
+#ifndef GVC_TLB_TLB_HH
+#define GVC_TLB_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/page_table.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace gvc
+{
+
+/** Configuration for a Tlb instance. */
+struct TlbParams
+{
+    unsigned entries = 32;
+    /** Associativity; 0 selects fully associative. */
+    unsigned assoc = 0;
+    /** Infinite capacity: never miss after first fill (demand misses only). */
+    bool infinite = false;
+    /** Record entry residence times (insert -> evict). */
+    bool track_lifetimes = false;
+};
+
+/** Outcome of a TLB lookup. */
+struct TlbLookup
+{
+    Ppn ppn = kInvalidPpn;
+    Perms perms = kPermNone;
+    bool large = false;
+};
+
+/**
+ * A TLB caching 4 KB-granularity translations.  Large-page translations
+ * are cached per 4 KB region they cover (a common simplification which
+ * only affects capacity pressure, not correctness).
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbParams &params)
+        : params_(params)
+    {
+        if (params_.infinite)
+            return;
+        if (params_.entries == 0)
+            fatal("Tlb: entries must be nonzero");
+        unsigned assoc = params_.assoc == 0 ? params_.entries
+                                            : params_.assoc;
+        if (assoc > params_.entries)
+            assoc = params_.entries;
+        num_sets_ = params_.entries / assoc;
+        if (num_sets_ == 0)
+            num_sets_ = 1;
+        assoc_ = params_.entries / num_sets_;
+        sets_.resize(num_sets_);
+        for (auto &set : sets_)
+            set.reserve(assoc_);
+    }
+
+    /** Look up (asid, vpn); updates recency on hit. */
+    std::optional<TlbLookup>
+    lookup(Asid asid, Vpn vpn, Tick now)
+    {
+        ++accesses_;
+        if (params_.infinite) {
+            auto it = inf_.find(key(asid, vpn));
+            if (it == inf_.end()) {
+                ++misses_;
+                return std::nullopt;
+            }
+            ++hits_;
+            return it->second;
+        }
+        auto &set = sets_[setIndex(vpn)];
+        for (auto &e : set) {
+            if (e.asid == asid && e.vpn == vpn) {
+                ++hits_;
+                e.last_used = now;
+                e.lru = ++lru_clock_;
+                return TlbLookup{e.ppn, e.perms, e.large};
+            }
+        }
+        ++misses_;
+        return std::nullopt;
+    }
+
+    /** Probe without side effects (no recency update, no stats). */
+    bool
+    present(Asid asid, Vpn vpn) const
+    {
+        if (params_.infinite)
+            return inf_.count(key(asid, vpn)) != 0;
+        const auto &set = sets_[setIndex(vpn)];
+        for (const auto &e : set)
+            if (e.asid == asid && e.vpn == vpn)
+                return true;
+        return false;
+    }
+
+    /** Install a translation, evicting LRU if the set is full. */
+    void
+    insert(Asid asid, Vpn vpn, const TlbLookup &xlate, Tick now)
+    {
+        ++fills_;
+        if (params_.infinite) {
+            inf_.emplace(key(asid, vpn), xlate);
+            return;
+        }
+        auto &set = sets_[setIndex(vpn)];
+        for (auto &e : set) {
+            if (e.asid == asid && e.vpn == vpn) {
+                e.ppn = xlate.ppn;
+                e.perms = xlate.perms;
+                e.large = xlate.large;
+                e.lru = ++lru_clock_;
+                return;
+            }
+        }
+        if (set.size() < assoc_) {
+            set.push_back(Entry{asid, vpn, xlate.ppn, xlate.perms,
+                                xlate.large, now, now, ++lru_clock_});
+            return;
+        }
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < set.size(); ++i)
+            if (set[i].lru < set[victim].lru)
+                victim = i;
+        retire(set[victim], now);
+        set[victim] = Entry{asid, vpn, xlate.ppn, xlate.perms,
+                            xlate.large, now, now, ++lru_clock_};
+    }
+
+    /** Invalidate one page's entry if present. @return true if evicted. */
+    bool
+    invalidatePage(Asid asid, Vpn vpn, Tick now = 0)
+    {
+        ++shootdowns_;
+        if (params_.infinite)
+            return inf_.erase(key(asid, vpn)) != 0;
+        auto &set = sets_[setIndex(vpn)];
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            if (set[i].asid == asid && set[i].vpn == vpn) {
+                retire(set[i], now);
+                set.erase(set.begin() + long(i));
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Invalidate every entry of one address space. */
+    void
+    invalidateAsid(Asid asid, Tick now = 0)
+    {
+        if (params_.infinite) {
+            for (auto it = inf_.begin(); it != inf_.end();) {
+                if (Asid(it->first >> 48) == asid)
+                    it = inf_.erase(it);
+                else
+                    ++it;
+            }
+            return;
+        }
+        for (auto &set : sets_) {
+            for (std::size_t i = set.size(); i-- > 0;) {
+                if (set[i].asid == asid) {
+                    retire(set[i], now);
+                    set.erase(set.begin() + long(i));
+                }
+            }
+        }
+    }
+
+    /** Invalidate everything. */
+    void
+    invalidateAll(Tick now = 0)
+    {
+        inf_.clear();
+        for (auto &set : sets_) {
+            for (auto &e : set)
+                retire(e, now);
+            set.clear();
+        }
+    }
+
+    std::uint64_t accesses() const { return accesses_.value; }
+    std::uint64_t hits() const { return hits_.value; }
+    std::uint64_t misses() const { return misses_.value; }
+    std::uint64_t fills() const { return fills_.value; }
+
+    double
+    missRatio() const
+    {
+        return accesses_.value
+            ? double(misses_.value) / double(accesses_.value)
+            : 0.0;
+    }
+
+    const LifetimeRecorder &lifetimes() const { return lifetimes_; }
+
+    unsigned numSets() const { return num_sets_; }
+    unsigned assoc() const { return assoc_; }
+
+  private:
+    struct Entry
+    {
+        Asid asid;
+        Vpn vpn;
+        Ppn ppn;
+        Perms perms;
+        bool large;
+        Tick inserted;
+        Tick last_used;
+        std::uint64_t lru;
+    };
+
+    static std::uint64_t
+    key(Asid asid, Vpn vpn)
+    {
+        return (std::uint64_t(asid) << 48) | vpn;
+    }
+
+    std::size_t setIndex(Vpn vpn) const { return vpn % num_sets_; }
+
+    void
+    retire(const Entry &e, Tick now)
+    {
+        if (params_.track_lifetimes && now > e.inserted)
+            lifetimes_.record(now - e.inserted);
+    }
+
+    TlbParams params_;
+    unsigned num_sets_ = 1;
+    unsigned assoc_ = 1;
+    std::vector<std::vector<Entry>> sets_;
+    std::unordered_map<std::uint64_t, TlbLookup> inf_;
+    std::uint64_t lru_clock_ = 0;
+
+    Counter accesses_;
+    Counter hits_;
+    Counter misses_;
+    Counter fills_;
+    Counter shootdowns_;
+    LifetimeRecorder lifetimes_;
+};
+
+} // namespace gvc
+
+#endif // GVC_TLB_TLB_HH

@@ -1,0 +1,225 @@
+#include "workloads/extra_workloads.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "workloads/graph.hh"
+#include "workloads/kernel_builder.hh"
+
+namespace gvc
+{
+
+namespace
+{
+
+std::uint32_t
+nextPow2(std::uint64_t v)
+{
+    std::uint32_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+// =====================================================================
+// sssp (Pannotia): Bellman-Ford-style relaxation over a worklist.
+// =====================================================================
+
+class SsspWorkload final : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "sssp"; }
+    bool highBandwidth() const override { return true; }
+
+    void
+    setup(Vm &vm, Asid asid) override
+    {
+        asid_ = asid;
+        const std::uint32_t v =
+            nextPow2(scaled(128 * 1024, 1024));
+        g_ = makeRmatGraph(rng_, v, std::uint64_t(v) * 4);
+        weights_.resize(g_.numEdges());
+        for (auto &w : weights_)
+            w = std::uint32_t(1 + rng_.below(15));
+        row_ptr_ = allocArray(vm, asid, g_.num_vertices + 1);
+        col_ = allocArray(vm, asid, g_.numEdges());
+        wgt_ = allocArray(vm, asid, g_.numEdges());
+        dist_ = allocArray(vm, asid, g_.num_vertices);
+    }
+
+    std::vector<KernelLaunch>
+    kernels() override
+    {
+        std::vector<KernelLaunch> launches;
+
+        std::uint32_t src = 0;
+        for (std::uint32_t v = 1; v < g_.num_vertices; ++v)
+            if (g_.degree(v) > g_.degree(src))
+                src = v;
+
+        constexpr std::uint32_t kInf =
+            std::numeric_limits<std::uint32_t>::max();
+        std::vector<std::uint32_t> dist(g_.num_vertices, kInf);
+        dist[src] = 0;
+        std::vector<std::uint32_t> worklist{src};
+
+        int round = 0;
+        while (!worklist.empty() && round < 24) {
+            KernelBuilder kb(asid_, params_.grid_warps);
+            std::vector<std::uint32_t> next;
+            std::vector<bool> queued(g_.num_vertices, false);
+            forEachWarpChunk(
+                worklist.size(), kb.numWarps(),
+                [&](unsigned w, std::uint64_t first, unsigned lanes) {
+                    std::vector<std::uint32_t> vs(
+                        worklist.begin() + long(first),
+                        worklist.begin() + long(first + lanes));
+                    kb.loadGather(w, row_ptr_, vs);
+                    kb.loadGather(w, dist_, vs);
+                    std::vector<std::uint32_t> positions;
+                    for (const auto v : vs)
+                        for (std::uint32_t p = g_.row_ptr[v];
+                             p < g_.row_ptr[v + 1]; ++p)
+                            positions.push_back(p);
+                    for (std::size_t i = 0; i < positions.size();
+                         i += kWarpLanes) {
+                        const auto n = std::min<std::size_t>(
+                            kWarpLanes, positions.size() - i);
+                        std::vector<std::uint32_t> pos(
+                            positions.begin() + long(i),
+                            positions.begin() + long(i + n));
+                        // Edge target + weight stream, then the
+                        // divergent distance gather/relaxation.
+                        kb.loadGather(w, col_, pos);
+                        kb.loadGather(w, wgt_, pos);
+                        std::vector<std::uint32_t> targets, relaxed;
+                        for (const auto p : pos)
+                            targets.push_back(g_.col[p]);
+                        kb.loadGather(w, dist_, targets);
+                        for (std::size_t e = 0; e < pos.size(); ++e) {
+                            // Functional relaxation.
+                            const auto from_v = srcOf(pos[e]);
+                            const auto to = g_.col[pos[e]];
+                            if (dist[from_v] == kInf)
+                                continue;
+                            const auto cand =
+                                dist[from_v] + weights_[pos[e]];
+                            if (cand < dist[to]) {
+                                dist[to] = cand;
+                                relaxed.push_back(to);
+                                if (!queued[to]) {
+                                    queued[to] = true;
+                                    next.push_back(to);
+                                }
+                            }
+                        }
+                        kb.storeScatter(w, dist_, relaxed);
+                        kb.compute(w, 2);
+                    }
+                });
+            launches.push_back(kb.take());
+            worklist = std::move(next);
+            ++round;
+        }
+        return launches;
+    }
+
+  private:
+    /** Source vertex of edge position @p pos (binary search). */
+    std::uint32_t
+    srcOf(std::uint32_t pos) const
+    {
+        const auto it = std::upper_bound(g_.row_ptr.begin(),
+                                         g_.row_ptr.end(), pos);
+        return std::uint32_t(it - g_.row_ptr.begin()) - 1;
+    }
+
+    CsrGraph g_;
+    std::vector<std::uint32_t> weights_;
+    DevArray row_ptr_;
+    DevArray col_;
+    DevArray wgt_;
+    DevArray dist_;
+};
+
+// =====================================================================
+// srad (Rodinia): 2D diffusion stencil with neighbor index arrays.
+// =====================================================================
+
+class SradWorkload final : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "srad"; }
+    bool highBandwidth() const override { return false; }
+
+    void
+    setup(Vm &vm, Asid asid) override
+    {
+        asid_ = asid;
+        side_ = unsigned(scaled(512, 64));
+        img_ = allocArray(vm, asid, std::uint64_t(side_) * side_);
+        coef_ = allocArray(vm, asid, std::uint64_t(side_) * side_);
+        out_ = allocArray(vm, asid, std::uint64_t(side_) * side_);
+    }
+
+    std::vector<KernelLaunch>
+    kernels() override
+    {
+        std::vector<KernelLaunch> launches;
+        // Two diffusion iterations of two kernels each (srad1: compute
+        // the diffusion coefficient; srad2: apply it).
+        for (int iter = 0; iter < 2; ++iter) {
+            for (int phase = 0; phase < 2; ++phase) {
+                KernelBuilder kb(asid_, params_.grid_warps);
+                forEachWarpChunkBlocked(
+                    std::uint64_t(side_) * side_, kb.numWarps(), 8,
+                    [&](unsigned w, std::uint64_t first,
+                        unsigned lanes) {
+                        const DevArray &in =
+                            phase == 0 ? img_ : coef_;
+                        kb.loadSeq(w, in, first, lanes);
+                        // North/south neighbors: one row away.
+                        if (first >= side_)
+                            kb.loadSeq(w, in, first - side_, lanes);
+                        if (first + side_ + lanes <=
+                            std::uint64_t(side_) * side_)
+                            kb.loadSeq(w, in, first + side_, lanes);
+                        kb.compute(w, 10);
+                        kb.storeSeq(w, phase == 0 ? coef_ : out_,
+                                    first, lanes);
+                    });
+                launches.push_back(kb.take());
+            }
+        }
+        return launches;
+    }
+
+  private:
+    unsigned side_ = 0;
+    DevArray img_;
+    DevArray coef_;
+    DevArray out_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSssp(const WorkloadParams &p)
+{
+    return std::make_unique<SsspWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeSrad(const WorkloadParams &p)
+{
+    return std::make_unique<SradWorkload>(p);
+}
+
+} // namespace gvc

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Extra workloads beyond the paper's evaluated fifteen: Pannotia also
+ * ships sssp (single-source shortest paths), and Rodinia ships srad
+ * (speckle-reducing anisotropic diffusion).  They are registered under
+ * extraWorkloadNames() so the paper's figure benches are unaffected,
+ * but are available to gvc_run, examples, and tests.
+ */
+
+#ifndef GVC_WORKLOADS_EXTRA_WORKLOADS_HH
+#define GVC_WORKLOADS_EXTRA_WORKLOADS_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace gvc
+{
+
+std::unique_ptr<Workload> makeSssp(const WorkloadParams &p);
+std::unique_ptr<Workload> makeSrad(const WorkloadParams &p);
+
+} // namespace gvc
+
+#endif // GVC_WORKLOADS_EXTRA_WORKLOADS_HH

@@ -1,0 +1,115 @@
+#include "workloads/graph.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace gvc
+{
+
+namespace
+{
+
+/** Build CSR from an edge list via counting sort on sources. */
+CsrGraph
+toCsr(std::uint32_t num_vertices,
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> edges)
+{
+    CsrGraph g;
+    g.num_vertices = num_vertices;
+    g.row_ptr.assign(num_vertices + 1, 0);
+    for (const auto &[src, dst] : edges)
+        ++g.row_ptr[src + 1];
+    for (std::uint32_t v = 0; v < num_vertices; ++v)
+        g.row_ptr[v + 1] += g.row_ptr[v];
+    g.col.resize(edges.size());
+    std::vector<std::uint32_t> cursor(g.row_ptr.begin(),
+                                      g.row_ptr.end() - 1);
+    for (const auto &[src, dst] : edges)
+        g.col[cursor[src]++] = dst;
+    // Sorted adjacency lists give deterministic, realistic layouts.
+    for (std::uint32_t v = 0; v < num_vertices; ++v) {
+        std::sort(g.col.begin() + g.row_ptr[v],
+                  g.col.begin() + g.row_ptr[v + 1]);
+    }
+    return g;
+}
+
+} // namespace
+
+CsrGraph
+makeRmatGraph(Rng &rng, std::uint32_t num_vertices,
+              std::uint64_t num_edges, double a, double b, double c)
+{
+    if (num_vertices == 0 || (num_vertices & (num_vertices - 1)) != 0)
+        fatal("makeRmatGraph: num_vertices must be a power of two");
+    unsigned levels = 0;
+    while ((std::uint32_t{1} << levels) < num_vertices)
+        ++levels;
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(num_edges);
+    for (std::uint64_t e = 0; e < num_edges; ++e) {
+        std::uint32_t src = 0, dst = 0;
+        for (unsigned level = 0; level < levels; ++level) {
+            const double r = rng.uniform();
+            src <<= 1;
+            dst <<= 1;
+            if (r < a) {
+                // quadrant a: (0, 0)
+            } else if (r < a + b) {
+                dst |= 1;
+            } else if (r < a + b + c) {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        if (src != dst)
+            edges.emplace_back(src, dst);
+    }
+    return toCsr(num_vertices, std::move(edges));
+}
+
+CsrGraph
+makeUniformGraph(Rng &rng, std::uint32_t num_vertices,
+                 std::uint64_t num_edges)
+{
+    if (num_vertices == 0)
+        fatal("makeUniformGraph: empty vertex set");
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(num_edges);
+    for (std::uint64_t e = 0; e < num_edges; ++e) {
+        const auto src = std::uint32_t(rng.below(num_vertices));
+        const auto dst = std::uint32_t(rng.below(num_vertices));
+        if (src != dst)
+            edges.emplace_back(src, dst);
+    }
+    return toCsr(num_vertices, std::move(edges));
+}
+
+CsrGraph
+makeGridGraph(std::uint32_t side)
+{
+    const std::uint32_t n = side * side;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(std::uint64_t(n) * 4);
+    for (std::uint32_t y = 0; y < side; ++y) {
+        for (std::uint32_t x = 0; x < side; ++x) {
+            const std::uint32_t v = y * side + x;
+            if (x + 1 < side) {
+                edges.emplace_back(v, v + 1);
+                edges.emplace_back(v + 1, v);
+            }
+            if (y + 1 < side) {
+                edges.emplace_back(v, v + side);
+                edges.emplace_back(v + side, v);
+            }
+        }
+    }
+    return toCsr(n, std::move(edges));
+}
+
+} // namespace gvc

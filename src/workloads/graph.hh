@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Synthetic graph inputs for the Pannotia-style workloads: an R-MAT
+ * generator (skewed, community-structured degree distribution — the
+ * regime where graph workloads show poor locality) and a uniform random
+ * generator, both emitted in CSR form.
+ */
+
+#ifndef GVC_WORKLOADS_GRAPH_HH
+#define GVC_WORKLOADS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace gvc
+{
+
+/** Compressed sparse row graph. */
+struct CsrGraph
+{
+    std::uint32_t num_vertices = 0;
+    std::vector<std::uint32_t> row_ptr; ///< size num_vertices + 1
+    std::vector<std::uint32_t> col;     ///< size num_edges
+
+    std::uint64_t numEdges() const { return col.size(); }
+
+    std::uint32_t
+    degree(std::uint32_t v) const
+    {
+        return row_ptr[v + 1] - row_ptr[v];
+    }
+};
+
+/**
+ * R-MAT graph: @p num_vertices must be a power of two.  Parameters
+ * (a, b, c) follow the usual recursive-quadrant probabilities; the
+ * remainder goes to quadrant d.
+ */
+CsrGraph makeRmatGraph(Rng &rng, std::uint32_t num_vertices,
+                       std::uint64_t num_edges, double a = 0.57,
+                       double b = 0.19, double c = 0.19);
+
+/** Uniform random graph (Erdos-Renyi-style edge sampling). */
+CsrGraph makeUniformGraph(Rng &rng, std::uint32_t num_vertices,
+                          std::uint64_t num_edges);
+
+/** 2D grid graph (regular degree-4 mesh), for locality contrast. */
+CsrGraph makeGridGraph(std::uint32_t side);
+
+} // namespace gvc
+
+#endif // GVC_WORKLOADS_GRAPH_HH

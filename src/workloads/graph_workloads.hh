@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Graph workloads: the Pannotia suite stand-ins (bc, color_max,
+ * color_maxmin, fw, fw_block, mis, pagerank, pagerank_spmv) and
+ * Rodinia's bfs.  Each runs the real algorithm over a synthetic R-MAT
+ * graph (or adjacency matrix for Floyd-Warshall) and records the
+ * coalescer-level address streams: divergent neighbor gathers, frontier
+ * scans, column-strided matrix sweeps.
+ */
+
+#ifndef GVC_WORKLOADS_GRAPH_WORKLOADS_HH
+#define GVC_WORKLOADS_GRAPH_WORKLOADS_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace gvc
+{
+
+std::unique_ptr<Workload> makeBfs(const WorkloadParams &p);
+std::unique_ptr<Workload> makePagerank(const WorkloadParams &p);
+std::unique_ptr<Workload> makePagerankSpmv(const WorkloadParams &p);
+std::unique_ptr<Workload> makeColorMax(const WorkloadParams &p);
+std::unique_ptr<Workload> makeColorMaxMin(const WorkloadParams &p);
+std::unique_ptr<Workload> makeMis(const WorkloadParams &p);
+std::unique_ptr<Workload> makeBc(const WorkloadParams &p);
+std::unique_ptr<Workload> makeFw(const WorkloadParams &p);
+std::unique_ptr<Workload> makeFwBlock(const WorkloadParams &p);
+
+} // namespace gvc
+
+#endif // GVC_WORKLOADS_GRAPH_WORKLOADS_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Helpers for constructing kernel launches: per-warp instruction
+ * accumulation and chunked distribution of data-parallel index ranges,
+ * mirroring how a grid of thread blocks maps onto warps.
+ */
+
+#ifndef GVC_WORKLOADS_KERNEL_BUILDER_HH
+#define GVC_WORKLOADS_KERNEL_BUILDER_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "workloads/workload.hh"
+
+namespace gvc
+{
+
+/** Accumulates per-warp instruction vectors and emits a KernelLaunch. */
+class KernelBuilder
+{
+  public:
+    KernelBuilder(Asid asid, unsigned num_warps)
+        : asid_(asid), warps_(num_warps)
+    {
+    }
+
+    unsigned numWarps() const { return unsigned(warps_.size()); }
+
+    /** Append an instruction to warp @p w. */
+    void
+    add(unsigned w, WarpInst inst)
+    {
+        warps_[w].push_back(std::move(inst));
+    }
+
+    /** Append a coalesced load of @p lanes consecutive elements. */
+    void
+    loadSeq(unsigned w, const DevArray &arr, std::uint64_t first,
+            unsigned lanes)
+    {
+        add(w, WarpInst::load(seqAddrs(arr, first, lanes)));
+    }
+
+    /** Append a coalesced store of @p lanes consecutive elements. */
+    void
+    storeSeq(unsigned w, const DevArray &arr, std::uint64_t first,
+             unsigned lanes)
+    {
+        add(w, WarpInst::store(seqAddrs(arr, first, lanes)));
+    }
+
+    /** Append a gather load of @p arr at the given indices. */
+    void
+    loadGather(unsigned w, const DevArray &arr,
+               const std::vector<std::uint32_t> &idx)
+    {
+        if (!idx.empty())
+            add(w, WarpInst::load(gatherAddrs(arr, idx)));
+    }
+
+    /** Append a scatter store of @p arr at the given indices. */
+    void
+    storeScatter(unsigned w, const DevArray &arr,
+                 const std::vector<std::uint32_t> &idx)
+    {
+        if (!idx.empty())
+            add(w, WarpInst::store(gatherAddrs(arr, idx)));
+    }
+
+    void compute(unsigned w, std::uint32_t cycles)
+    {
+        add(w, WarpInst::compute(cycles));
+    }
+
+    void scratch(unsigned w, bool is_store)
+    {
+        add(w, WarpInst::scratch(is_store));
+    }
+
+    void barrier(unsigned w) { add(w, WarpInst::barrier()); }
+
+    /** Barrier on every warp (tiled kernels). */
+    void
+    barrierAll()
+    {
+        for (unsigned w = 0; w < warps_.size(); ++w)
+            barrier(w);
+    }
+
+    /** Total instructions accumulated so far. */
+    std::uint64_t
+    totalInstructions() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &w : warps_)
+            n += w.size();
+        return n;
+    }
+
+    /** Move the accumulated streams into a launch (builder is spent). */
+    KernelLaunch
+    take()
+    {
+        KernelLaunch launch;
+        launch.asid = asid_;
+        launch.warps.reserve(warps_.size());
+        for (auto &insts : warps_) {
+            if (!insts.empty()) {
+                launch.warps.push_back(
+                    std::make_unique<VectorWarpStream>(std::move(insts)));
+            }
+        }
+        warps_.clear();
+        return launch;
+    }
+
+    static std::vector<Vaddr>
+    seqAddrs(const DevArray &arr, std::uint64_t first, unsigned lanes)
+    {
+        std::vector<Vaddr> addrs;
+        addrs.reserve(lanes);
+        for (unsigned l = 0; l < lanes; ++l)
+            addrs.push_back(arr.at(first + l));
+        return addrs;
+    }
+
+    static std::vector<Vaddr>
+    gatherAddrs(const DevArray &arr, const std::vector<std::uint32_t> &idx)
+    {
+        std::vector<Vaddr> addrs;
+        addrs.reserve(idx.size());
+        for (const auto i : idx)
+            addrs.push_back(arr.at(i));
+        return addrs;
+    }
+
+  private:
+    Asid asid_;
+    std::vector<std::vector<WarpInst>> warps_;
+};
+
+/**
+ * Distribute [0, n) over warps in contiguous chunks of up to
+ * kWarpLanes elements, round-robin like thread blocks.
+ * @p fn is called as fn(warp, first_index, lane_count).
+ */
+template <typename Fn>
+void
+forEachWarpChunk(std::uint64_t n, unsigned num_warps, Fn fn)
+{
+    std::uint64_t chunk = 0;
+    for (std::uint64_t base = 0; base < n; base += kWarpLanes, ++chunk) {
+        const unsigned lanes =
+            unsigned(std::min<std::uint64_t>(kWarpLanes, n - base));
+        fn(unsigned(chunk % num_warps), base, lanes);
+    }
+}
+
+/**
+ * Like forEachWarpChunk, but hands each warp @p block_chunks consecutive
+ * chunks before moving on — the CUDA-style block-contiguous mapping that
+ * preserves streaming page locality within a warp (used by the regular
+ * Rodinia kernels).
+ */
+template <typename Fn>
+void
+forEachWarpChunkBlocked(std::uint64_t n, unsigned num_warps,
+                        unsigned block_chunks, Fn fn)
+{
+    std::uint64_t chunk = 0;
+    for (std::uint64_t base = 0; base < n; base += kWarpLanes, ++chunk) {
+        const unsigned lanes =
+            unsigned(std::min<std::uint64_t>(kWarpLanes, n - base));
+        fn(unsigned((chunk / block_chunks) % num_warps), base, lanes);
+    }
+}
+
+} // namespace gvc
+
+#endif // GVC_WORKLOADS_KERNEL_BUILDER_HH

@@ -1,0 +1,80 @@
+#include "workloads/registry.hh"
+
+#include "sim/logging.hh"
+#include "workloads/extra_workloads.hh"
+#include "workloads/graph_workloads.hh"
+#include "workloads/regular_workloads.hh"
+
+namespace gvc
+{
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        // Pannotia (irregular graph applications)
+        "bc", "color_maxmin", "color_max", "fw", "fw_block", "mis",
+        "pagerank", "pagerank_spmv",
+        // Rodinia (traditional workloads)
+        "kmeans", "backprop", "bfs", "hotspot", "lud", "nw",
+        "pathfinder"};
+    return names;
+}
+
+const std::vector<std::string> &
+extraWorkloadNames()
+{
+    static const std::vector<std::string> names = {"sssp", "srad"};
+    return names;
+}
+
+const std::vector<std::string> &
+highBandwidthWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "bc", "color_maxmin", "color_max", "fw", "fw_block",
+        "mis", "pagerank", "pagerank_spmv", "bfs", "lud"};
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "bfs")
+        return makeBfs(params);
+    if (name == "pagerank")
+        return makePagerank(params);
+    if (name == "pagerank_spmv")
+        return makePagerankSpmv(params);
+    if (name == "color_max")
+        return makeColorMax(params);
+    if (name == "color_maxmin")
+        return makeColorMaxMin(params);
+    if (name == "mis")
+        return makeMis(params);
+    if (name == "bc")
+        return makeBc(params);
+    if (name == "fw")
+        return makeFw(params);
+    if (name == "fw_block")
+        return makeFwBlock(params);
+    if (name == "kmeans")
+        return makeKmeans(params);
+    if (name == "backprop")
+        return makeBackprop(params);
+    if (name == "hotspot")
+        return makeHotspot(params);
+    if (name == "lud")
+        return makeLud(params);
+    if (name == "nw")
+        return makeNw(params);
+    if (name == "pathfinder")
+        return makePathfinder(params);
+    if (name == "sssp")
+        return makeSssp(params);
+    if (name == "srad")
+        return makeSrad(params);
+    fatal("makeWorkload: unknown workload '" + name + "'");
+}
+
+} // namespace gvc

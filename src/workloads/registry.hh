@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Name-based workload registry: the 15 simulated workloads of the paper
+ * (8 Pannotia, 7 Rodinia), constructible by name for harnesses, benches,
+ * and examples.
+ */
+
+#ifndef GVC_WORKLOADS_REGISTRY_HH
+#define GVC_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace gvc
+{
+
+/** All workload names, Pannotia first (paper's Figure 2 layout). */
+const std::vector<std::string> &allWorkloadNames();
+
+/** Names of the paper's "high translation bandwidth" group (§5.2). */
+const std::vector<std::string> &highBandwidthWorkloadNames();
+
+/** Extra workloads beyond the paper's fifteen (sssp, srad). */
+const std::vector<std::string> &extraWorkloadNames();
+
+/** Construct a workload by name; fatal on unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadParams &params = {});
+
+} // namespace gvc
+
+#endif // GVC_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Rodinia-style regular workloads: kmeans, backprop, hotspot, lud, nw,
+ * pathfinder.  These are the traditional scientific kernels: streaming
+ * coalesced sweeps (kmeans, backprop), scratchpad-tiled stencils and DP
+ * (hotspot, nw, pathfinder), and blocked factorization with
+ * column-strided — hence divergent — panel accesses (lud).
+ */
+
+#ifndef GVC_WORKLOADS_REGULAR_WORKLOADS_HH
+#define GVC_WORKLOADS_REGULAR_WORKLOADS_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace gvc
+{
+
+std::unique_ptr<Workload> makeKmeans(const WorkloadParams &p);
+std::unique_ptr<Workload> makeBackprop(const WorkloadParams &p);
+std::unique_ptr<Workload> makeHotspot(const WorkloadParams &p);
+std::unique_ptr<Workload> makeLud(const WorkloadParams &p);
+std::unique_ptr<Workload> makeNw(const WorkloadParams &p);
+std::unique_ptr<Workload> makePathfinder(const WorkloadParams &p);
+
+} // namespace gvc
+
+#endif // GVC_WORKLOADS_REGULAR_WORKLOADS_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Workload abstraction: a named program that maps its data into a
+ * process address space and emits the kernel launches (per-warp
+ * instruction streams) the GPU executes.
+ *
+ * The fifteen concrete workloads reproduce the memory behaviour of the
+ * paper's Rodinia and Pannotia benchmarks by running the real algorithms
+ * (BFS, PageRank, coloring, MIS, Floyd-Warshall, k-means, stencils, ...)
+ * over synthetic inputs and recording the coalescer-level address
+ * streams they generate.
+ */
+
+#ifndef GVC_WORKLOADS_WORKLOAD_HH
+#define GVC_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "mem/vm.hh"
+#include "sim/rng.hh"
+
+namespace gvc
+{
+
+/** Input graph topology for the graph workloads. */
+enum class GraphKind : std::uint8_t {
+    kRmat,    ///< Skewed, community-structured (Pannotia-like inputs).
+    kUniform, ///< Erdos-Renyi-style uniform random.
+    kGrid,    ///< Regular 2D mesh (high locality contrast).
+};
+
+/** Global workload scaling knobs. */
+struct WorkloadParams
+{
+    /** Linear problem-size multiplier (1.0 = default sizes). */
+    double scale = 1.0;
+    std::uint64_t seed = 0x5eed;
+    /** Warps per kernel launch (spread across the CUs). */
+    unsigned grid_warps = 256;
+    /** Topology used by the graph workloads. */
+    GraphKind graph = GraphKind::kRmat;
+};
+
+/** A device-resident array: base VA plus element stride. */
+struct DevArray
+{
+    Vaddr base = 0;
+    std::uint32_t elem_bytes = 4;
+
+    Vaddr at(std::uint64_t i) const { return base + i * elem_bytes; }
+};
+
+/** Map a fresh array of @p count elements into (vm, asid). */
+inline DevArray
+allocArray(Vm &vm, Asid asid, std::uint64_t count,
+           std::uint32_t elem_bytes = 4,
+           Perms perms = kPermRead | kPermWrite)
+{
+    DevArray a;
+    a.base = vm.mmapAnon(asid, count * elem_bytes, perms);
+    a.elem_bytes = elem_bytes;
+    return a;
+}
+
+/** Base class of all workloads. */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadParams &params)
+        : params_(params), rng_(params.seed)
+    {
+    }
+
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Paper's grouping: high vs. low translation-bandwidth demand. */
+    virtual bool highBandwidth() const = 0;
+
+    /** Allocate and initialize device data in (vm, asid). */
+    virtual void setup(Vm &vm, Asid asid) = 0;
+
+    /** Produce the kernel launches (call once, after setup). */
+    virtual std::vector<KernelLaunch> kernels() = 0;
+
+  protected:
+    /** Scaled size helper with a floor of @p minimum. */
+    std::uint64_t
+    scaled(std::uint64_t base, std::uint64_t minimum = 1) const
+    {
+        const auto v = std::uint64_t(double(base) * params_.scale);
+        return v < minimum ? minimum : v;
+    }
+
+    WorkloadParams params_;
+    Rng rng_;
+    Asid asid_ = 0;
+};
+
+} // namespace gvc
+
+#endif // GVC_WORKLOADS_WORKLOAD_HH

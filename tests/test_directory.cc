@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit and integration tests for the coherence directory, including
+ * the full CPU-store -> directory -> BT-reverse-translated-GPU-probe
+ * path of the virtual hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/directory.hh"
+#include "core/virtual_hierarchy.hh"
+#include "cpu/coherence_agent.hh"
+
+namespace gvc
+{
+namespace
+{
+
+class DirectoryTest : public ::testing::Test
+{
+  protected:
+    DirectoryTest() : dram_(ctx_, {}), dir_(ctx_, dram_) {}
+
+    void
+    fetch(DirNode node, Paddr line, bool exclusive)
+    {
+        bool done = false;
+        dir_.fetch(node, line, exclusive, [&] { done = true; });
+        ctx_.eq.run();
+        EXPECT_TRUE(done);
+    }
+
+    SimContext ctx_;
+    Dram dram_;
+    Directory dir_;
+};
+
+TEST_F(DirectoryTest, FetchMovesDataAndTracksSharer)
+{
+    fetch(DirNode::kGpu, 0x1000, false);
+    EXPECT_EQ(dram_.accesses(), 1u);
+    EXPECT_EQ(dir_.sharersOf(0x1000), 1u << unsigned(DirNode::kGpu));
+}
+
+TEST_F(DirectoryTest, SharedReadersCoexistWithoutProbes)
+{
+    fetch(DirNode::kGpu, 0x1000, false);
+    fetch(DirNode::kCpu, 0x1000, false);
+    EXPECT_EQ(dir_.probesSent(), 0u);
+    EXPECT_EQ(dir_.sharersOf(0x1000), 3u);
+}
+
+TEST_F(DirectoryTest, ExclusiveFetchProbesTheOtherNode)
+{
+    unsigned gpu_probes = 0;
+    dir_.setProbeSink(DirNode::kGpu, [&](Paddr, bool) {
+        ++gpu_probes;
+        return ProbeOutcome{true, false};
+    });
+    fetch(DirNode::kGpu, 0x2000, false);
+    fetch(DirNode::kCpu, 0x2000, true);
+    EXPECT_EQ(gpu_probes, 1u);
+    EXPECT_EQ(dir_.probesSent(), 1u);
+    EXPECT_EQ(dir_.sharersOf(0x2000), 1u << unsigned(DirNode::kCpu));
+}
+
+TEST_F(DirectoryTest, DirtyProbeCausesWriteback)
+{
+    dir_.setProbeSink(DirNode::kGpu, [](Paddr, bool) {
+        return ProbeOutcome{true, /*was_dirty=*/true};
+    });
+    fetch(DirNode::kGpu, 0x3000, true); // GPU owns dirty
+    const auto dram_before = dram_.accesses();
+    fetch(DirNode::kCpu, 0x3000, false); // CPU read: probe + writeback
+    EXPECT_EQ(dir_.probeWritebacks(), 1u);
+    EXPECT_GE(dram_.accesses(), dram_before + 2); // WB + data
+}
+
+TEST_F(DirectoryTest, ExplicitWritebackClearsSharer)
+{
+    fetch(DirNode::kGpu, 0x4000, true);
+    dir_.writeback(DirNode::kGpu, 0x4000);
+    ctx_.eq.run();
+    EXPECT_EQ(dir_.sharersOf(0x4000), 0u);
+    EXPECT_EQ(dir_.writebacks(), 1u);
+}
+
+TEST(DirectoryVcIntegration, CpuStoreInvalidatesGpuCopyThroughBt)
+{
+    SimContext ctx;
+    PhysMem pm(std::uint64_t{1} << 30);
+    Vm vm(pm);
+    Dram dram(ctx, {});
+    SocConfig cfg;
+    cfg.gpu.num_cus = 2;
+    VirtualCacheSystem vc(ctx, cfg, vm, dram);
+    const Asid asid = vm.createProcess();
+    const Vaddr buf = vm.mmapAnon(asid, 4 * kPageSize);
+
+    // GPU caches a line (dirty).
+    bool gdone = false;
+    vc.access(0, asid, buf, true, [&] { gdone = true; });
+    ctx.eq.run();
+    ASSERT_TRUE(gdone);
+    ASSERT_TRUE(vc.l2().present(asid, buf));
+
+    // CPU fetches the same line exclusively through the directory.
+    const auto t = vm.translate(asid, buf);
+    const Paddr pa = pageBase(t->ppn);
+    bool cdone = false;
+    vc.directory().fetch(DirNode::kCpu, pa, true, [&] { cdone = true; });
+    ctx.eq.run();
+    EXPECT_TRUE(cdone);
+    // The probe traveled through the BT and removed the GPU's copy.
+    EXPECT_FALSE(vc.l2().present(asid, buf));
+    EXPECT_EQ(vc.directory().probesSent(), 1u);
+    EXPECT_EQ(vc.directory().probeWritebacks(), 1u); // it was dirty
+}
+
+TEST(DirectoryVcIntegration, StaleProbesAreFilteredByBt)
+{
+    SimContext ctx;
+    PhysMem pm(std::uint64_t{1} << 30);
+    Vm vm(pm);
+    Dram dram(ctx, {});
+    SocConfig cfg;
+    cfg.gpu.num_cus = 2;
+    VirtualCacheSystem vc(ctx, cfg, vm, dram);
+    const Asid asid = vm.createProcess();
+    const Vaddr buf = vm.mmapAnon(asid, kPageSize);
+
+    bool gdone = false;
+    vc.access(0, asid, buf, false, [&] { gdone = true; });
+    ctx.eq.run();
+    ASSERT_TRUE(gdone);
+
+    // Shoot the page down: the GPU's copy and FBT entry are gone, but
+    // the directory's sharer bit is stale (silent from its view).
+    vm.protect(asid, buf, kPageSize, kPermRead);
+    const auto t = vm.translate(asid, buf);
+    const auto before = vc.fbt().probesFiltered();
+    bool cdone = false;
+    vc.directory().fetch(DirNode::kCpu, pageBase(t->ppn), true,
+                         [&] { cdone = true; });
+    ctx.eq.run();
+    EXPECT_TRUE(cdone);
+    // The stale probe reached the BT and was filtered there.
+    EXPECT_EQ(vc.fbt().probesFiltered(), before + 1);
+}
+
+TEST(DirectoryAgentIntegration, AgentThroughDirectoryInvalidatesGpu)
+{
+    SimContext ctx;
+    PhysMem pm(std::uint64_t{1} << 30);
+    Vm vm(pm);
+    Dram dram(ctx, {});
+    SocConfig cfg;
+    cfg.gpu.num_cus = 2;
+    VirtualCacheSystem vc(ctx, cfg, vm, dram);
+    const Asid asid = vm.createProcess();
+    const Vaddr buf = vm.mmapAnon(asid, 2 * kPageSize);
+
+    bool gdone = false;
+    vc.access(0, asid, buf, false, [&] { gdone = true; });
+    ctx.eq.run();
+    ASSERT_TRUE(gdone);
+
+    CoherenceAgentParams p;
+    p.period = 5;
+    p.store_fraction = 1.0;
+    CpuCoherenceAgent agent(ctx, vm, p);
+    agent.attachDirectory(vc.directory());
+    agent.start(asid, buf, 2 * kPageSize, 100);
+    ctx.eq.run();
+
+    EXPECT_FALSE(vc.l2().present(asid, buf));
+    EXPECT_GT(vc.directory().probesSent(), 0u);
+}
+
+} // namespace
+} // namespace gvc

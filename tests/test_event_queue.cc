@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace gvc
+{
+namespace
+{
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, CallbacksMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleIn(7, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.now(), 28u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeEvenWhenDrained)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(4, [&] { ++fired; });
+    eq.runUntil(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(4, [&] { ++fired; });
+    eq.schedule(50, [&] { ++fired; });
+    eq.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunWithBudgetStops)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(Tick(i), [&] { ++fired; });
+    const auto n = eq.run(4);
+    EXPECT_EQ(n, 4u);
+    EXPECT_EQ(fired, 4);
+    eq.run();
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(5, [] {});
+    eq.run();
+    eq.schedule(9, [] {});
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+}
+
+} // namespace
+} // namespace gvc

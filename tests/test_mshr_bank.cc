@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the MSHR table and the rate-limited bank port.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/bank_port.hh"
+#include "cache/mshr.hh"
+
+namespace gvc
+{
+namespace
+{
+
+TEST(Mshr, PrimaryThenSecondariesMerge)
+{
+    MshrTable mshrs;
+    int woken = 0;
+    EXPECT_EQ(mshrs.allocate(42, [&] { ++woken; }),
+              MshrTable::Result::kPrimary);
+    EXPECT_EQ(mshrs.allocate(42, [&] { ++woken; }),
+              MshrTable::Result::kSecondary);
+    EXPECT_EQ(mshrs.allocate(42, [&] { ++woken; }),
+              MshrTable::Result::kSecondary);
+    EXPECT_TRUE(mshrs.outstanding(42));
+    mshrs.complete(42);
+    EXPECT_EQ(woken, 2); // primary's callback is not queued
+    EXPECT_FALSE(mshrs.outstanding(42));
+}
+
+TEST(Mshr, DistinctKeysAreIndependent)
+{
+    MshrTable mshrs;
+    EXPECT_EQ(mshrs.allocate(1, [] {}), MshrTable::Result::kPrimary);
+    EXPECT_EQ(mshrs.allocate(2, [] {}), MshrTable::Result::kPrimary);
+    EXPECT_EQ(mshrs.inFlight(), 2u);
+}
+
+TEST(Mshr, CapacityLimitRejects)
+{
+    MshrTable mshrs(2);
+    EXPECT_EQ(mshrs.allocate(1, [] {}), MshrTable::Result::kPrimary);
+    EXPECT_EQ(mshrs.allocate(2, [] {}), MshrTable::Result::kPrimary);
+    EXPECT_EQ(mshrs.allocate(3, [] {}), MshrTable::Result::kFull);
+    // Merging into an existing entry is still allowed when full.
+    EXPECT_EQ(mshrs.allocate(1, [] {}), MshrTable::Result::kSecondary);
+    mshrs.complete(1);
+    EXPECT_EQ(mshrs.allocate(3, [] {}), MshrTable::Result::kPrimary);
+}
+
+TEST(Mshr, CompleteOfUnknownKeyIsNoop)
+{
+    MshrTable mshrs;
+    mshrs.complete(7); // must not crash
+    EXPECT_EQ(mshrs.inFlight(), 0u);
+}
+
+TEST(Mshr, WakeOrderIsMergeOrder)
+{
+    MshrTable mshrs;
+    std::vector<int> order;
+    mshrs.allocate(5, [] {});
+    for (int i = 0; i < 4; ++i)
+        mshrs.allocate(5, [&order, i] { order.push_back(i); });
+    mshrs.complete(5);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(BankPort, IdlePortServesImmediately)
+{
+    BankPort port(1.0);
+    EXPECT_EQ(port.acquire(100), 100u);
+}
+
+TEST(BankPort, BackToBackSerializes)
+{
+    BankPort port(1.0);
+    EXPECT_EQ(port.acquire(10), 10u);
+    EXPECT_EQ(port.acquire(10), 11u);
+    EXPECT_EQ(port.acquire(10), 12u);
+    EXPECT_GT(port.meanWait(), 0.0);
+}
+
+TEST(BankPort, FractionalRatesAccumulateExactly)
+{
+    BankPort port(2.0); // two accesses per cycle
+    EXPECT_EQ(port.acquire(0), 0u);
+    EXPECT_EQ(port.acquire(0), 0u);
+    EXPECT_EQ(port.acquire(0), 1u);
+    EXPECT_EQ(port.acquire(0), 1u);
+    EXPECT_EQ(port.acquire(0), 2u);
+}
+
+TEST(BankPort, IdleTimeIsNotBanked)
+{
+    BankPort port(1.0);
+    port.acquire(0);
+    port.acquire(0);
+    // Long idle: next access is served at its arrival time.
+    EXPECT_EQ(port.acquire(1000), 1000u);
+}
+
+} // namespace
+} // namespace gvc

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the 4-level radix page table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/page_table.hh"
+
+namespace gvc
+{
+namespace
+{
+
+class PageTableTest : public ::testing::Test
+{
+  protected:
+    PhysMem pm_{std::uint64_t{1} << 30};
+    PageTable pt_{pm_};
+};
+
+TEST_F(PageTableTest, UnmappedTranslatesToNothing)
+{
+    EXPECT_FALSE(pt_.translate(0x1234).has_value());
+}
+
+TEST_F(PageTableTest, MapThenTranslate)
+{
+    pt_.map(0x1234, 77, kPermRead | kPermWrite);
+    const auto t = pt_.translate(0x1234);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->ppn, 77u);
+    EXPECT_EQ(t->perms, kPermRead | kPermWrite);
+    EXPECT_FALSE(t->large);
+}
+
+TEST_F(PageTableTest, RemapOverwrites)
+{
+    pt_.map(5, 10, kPermRead);
+    pt_.map(5, 20, kPermRead | kPermWrite);
+    const auto t = pt_.translate(5);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->ppn, 20u);
+}
+
+TEST_F(PageTableTest, UnmapRemoves)
+{
+    pt_.map(9, 11, kPermRead);
+    EXPECT_TRUE(pt_.unmap(9));
+    EXPECT_FALSE(pt_.translate(9).has_value());
+    EXPECT_FALSE(pt_.unmap(9));
+}
+
+TEST_F(PageTableTest, ProtectChangesPerms)
+{
+    pt_.map(9, 11, kPermRead | kPermWrite);
+    EXPECT_TRUE(pt_.protect(9, kPermRead));
+    EXPECT_EQ(pt_.translate(9)->perms, kPermRead);
+    EXPECT_FALSE(pt_.protect(12345, kPermRead));
+}
+
+TEST_F(PageTableTest, DistantVpnsDoNotCollide)
+{
+    // VPNs that differ only in high radix bits.
+    const Vpn a = Vpn{3} << 27;
+    const Vpn b = Vpn{5} << 27;
+    pt_.map(a, 100, kPermRead);
+    pt_.map(b, 200, kPermRead);
+    EXPECT_EQ(pt_.translate(a)->ppn, 100u);
+    EXPECT_EQ(pt_.translate(b)->ppn, 200u);
+}
+
+TEST_F(PageTableTest, WalkVisitsFourLevelsForSmallPages)
+{
+    pt_.map(0xABCDE, 42, kPermRead);
+    const auto path = pt_.walk(0xABCDE);
+    EXPECT_EQ(path.levels, 4u);
+    ASSERT_TRUE(path.result.has_value());
+    EXPECT_EQ(path.result->ppn, 42u);
+    // PTE addresses are distinct and the first lives in the root frame.
+    std::set<Paddr> addrs(path.pte_addrs.begin(),
+                          path.pte_addrs.begin() + 4);
+    EXPECT_EQ(addrs.size(), 4u);
+    EXPECT_EQ(path.pte_addrs[0] & ~kPageMask, pt_.rootAddr());
+}
+
+TEST_F(PageTableTest, WalkOfUnmappedFaultsEarly)
+{
+    const auto path = pt_.walk(0x999);
+    EXPECT_FALSE(path.result.has_value());
+    EXPECT_GE(path.levels, 1u);
+}
+
+TEST_F(PageTableTest, LargePageWalkStopsAtLevelThree)
+{
+    pt_.mapLarge(0x200, 1000, kPermRead | kPermWrite);
+    const auto path = pt_.walk(0x200 + 17);
+    EXPECT_EQ(path.levels, 3u);
+    ASSERT_TRUE(path.result.has_value());
+    EXPECT_TRUE(path.result->large);
+    EXPECT_EQ(path.result->ppn, 1017u);
+    EXPECT_EQ(path.result->base_vpn, 0x200u);
+}
+
+TEST_F(PageTableTest, LargePageCoversAllSubpages)
+{
+    pt_.mapLarge(0x400, 2000, kPermRead);
+    for (Vpn off : {Vpn{0}, Vpn{1}, Vpn{255}, Vpn{511}}) {
+        const auto t = pt_.translate(0x400 + off);
+        ASSERT_TRUE(t.has_value());
+        EXPECT_EQ(t->ppn, 2000 + off);
+        EXPECT_TRUE(t->large);
+    }
+    EXPECT_FALSE(pt_.translate(0x400 + 512).has_value());
+}
+
+TEST_F(PageTableTest, NodeCountGrowsWithSpread)
+{
+    const std::size_t before = pt_.nodeCount();
+    pt_.map(0, 1, kPermRead);
+    pt_.map(Vpn{1} << 27, 2, kPermRead);
+    EXPECT_GT(pt_.nodeCount(), before);
+}
+
+TEST(PageTableDeath, MisalignedLargeMapIsFatal)
+{
+    PhysMem pm(1 << 26);
+    PageTable pt(pm);
+    EXPECT_DEATH(pt.mapLarge(0x201, 0, kPermRead), "aligned");
+}
+
+} // namespace
+} // namespace gvc

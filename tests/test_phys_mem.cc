@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the physical frame allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/phys_mem.hh"
+
+namespace gvc
+{
+namespace
+{
+
+TEST(PhysMem, FrameZeroIsReserved)
+{
+    PhysMem pm(1 << 20);
+    EXPECT_NE(pm.allocFrame(), 0u);
+}
+
+TEST(PhysMem, FramesAreUnique)
+{
+    PhysMem pm(1 << 20); // 256 frames
+    std::set<Ppn> seen;
+    for (int i = 0; i < 200; ++i)
+        EXPECT_TRUE(seen.insert(pm.allocFrame()).second);
+}
+
+TEST(PhysMem, FreeListRecycles)
+{
+    PhysMem pm(1 << 20);
+    const Ppn a = pm.allocFrame();
+    const Ppn b = pm.allocFrame();
+    pm.freeFrame(a);
+    EXPECT_EQ(pm.allocFrame(), a);
+    pm.freeFrame(b);
+    EXPECT_EQ(pm.allocFrame(), b);
+}
+
+TEST(PhysMem, TracksUsage)
+{
+    PhysMem pm(1 << 20);
+    EXPECT_EQ(pm.framesInUse(), 0u);
+    const Ppn a = pm.allocFrame();
+    pm.allocFrame();
+    EXPECT_EQ(pm.framesInUse(), 2u);
+    pm.freeFrame(a);
+    EXPECT_EQ(pm.framesInUse(), 1u);
+}
+
+TEST(PhysMem, ContiguousAllocationIsContiguous)
+{
+    PhysMem pm(8 << 20);
+    const Ppn base = pm.allocContiguous(512);
+    const Ppn next = pm.allocFrame();
+    EXPECT_EQ(next, base + 512);
+}
+
+TEST(PhysMemDeathTest, ExhaustionIsFatal)
+{
+    PhysMem pm(4 * kPageSize); // 3 usable frames
+    pm.allocFrame();
+    pm.allocFrame();
+    pm.allocFrame();
+    EXPECT_DEATH(pm.allocFrame(), "out of physical memory");
+}
+
+TEST(PhysMemDeathTest, DoubleRangeFreePanics)
+{
+    PhysMem pm(1 << 20);
+    pm.allocFrame();
+    EXPECT_DEATH(pm.freeFrame(9999), "invalid frame");
+}
+
+} // namespace
+} // namespace gvc

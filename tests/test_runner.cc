@@ -1,0 +1,166 @@
+/**
+ * @file
+ * End-to-end tests through the experiment runner: every design runs a
+ * real workload to completion, and the paper's headline relationships
+ * hold (VC filters translation traffic, VC ≈ IDEAL ≫ baseline on a
+ * high-divergence workload, low-BW workloads are not hurt).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+namespace gvc
+{
+namespace
+{
+
+RunConfig
+quick(MmuDesign design, double scale = 0.1)
+{
+    RunConfig cfg;
+    cfg.design = design;
+    cfg.workload.scale = scale;
+    return cfg;
+}
+
+/** Every design completes every-ish workload (smoke, parameterized). */
+class DesignSmoke : public ::testing::TestWithParam<MmuDesign>
+{
+};
+
+TEST_P(DesignSmoke, RunsPagerankToCompletion)
+{
+    const RunResult r = runWorkload("pagerank", quick(GetParam()));
+    EXPECT_GT(r.exec_ticks, 0u);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.mem_instructions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, DesignSmoke,
+    ::testing::Values(MmuDesign::kIdeal, MmuDesign::kBaseline512,
+                      MmuDesign::kBaseline16K,
+                      MmuDesign::kBaselineLargeTlb, MmuDesign::kVcNoOpt,
+                      MmuDesign::kVcOpt, MmuDesign::kL1Vc32,
+                      MmuDesign::kL1Vc128));
+
+/** Every workload completes under the proposed design (tiny scale). */
+class WorkloadUnderVc : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadUnderVc, RunsToCompletionWithCleanInvariants)
+{
+    RunConfig cfg = quick(MmuDesign::kVcOpt, 0.05);
+    std::uint64_t fbt_pages = 0;
+    bool consistent = false;
+    const RunResult r = runWorkload(
+        GetParam(), cfg,
+        [&](SystemUnderTest &sut, Gpu &, SimContext &) {
+            consistent = sut.vc()->fbt().consistent();
+            fbt_pages = sut.vc()->fbt().validEntries();
+        });
+    EXPECT_GT(r.exec_ticks, 0u);
+    EXPECT_TRUE(consistent);
+    EXPECT_GT(fbt_pages, 0u);
+    EXPECT_EQ(r.rw_faults, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadUnderVc,
+                         ::testing::ValuesIn(allWorkloadNames()));
+INSTANTIATE_TEST_SUITE_P(Extras, WorkloadUnderVc,
+                         ::testing::ValuesIn(extraWorkloadNames()));
+
+TEST(RunnerIntegration, VcFiltersIommuTraffic)
+{
+    const RunResult base =
+        runWorkload("pagerank", quick(MmuDesign::kBaseline512, 0.2));
+    const RunResult vc =
+        runWorkload("pagerank", quick(MmuDesign::kVcOpt, 0.2));
+    EXPECT_LT(vc.iommu_accesses, base.iommu_accesses / 2);
+}
+
+TEST(RunnerIntegration, VcApproachesIdealOnHighDivergence)
+{
+    const RunResult ideal =
+        runWorkload("mis", quick(MmuDesign::kIdeal, 0.2));
+    const RunResult base =
+        runWorkload("mis", quick(MmuDesign::kBaseline512, 0.2));
+    const RunResult vc =
+        runWorkload("mis", quick(MmuDesign::kVcOpt, 0.2));
+    // Baseline degrades substantially; VC lands within 15% of IDEAL.
+    EXPECT_GT(double(base.exec_ticks), 1.3 * double(ideal.exec_ticks));
+    EXPECT_LT(double(vc.exec_ticks), 1.15 * double(ideal.exec_ticks));
+}
+
+TEST(RunnerIntegration, LowBandwidthWorkloadNotHurtByVc)
+{
+    const RunResult base =
+        runWorkload("hotspot", quick(MmuDesign::kBaseline16K, 0.25));
+    const RunResult vc =
+        runWorkload("hotspot", quick(MmuDesign::kVcOpt, 0.25));
+    EXPECT_LE(double(vc.exec_ticks), 1.05 * double(base.exec_ticks));
+}
+
+TEST(RunnerIntegration, FullVcBeatsL1OnlyOnGraphWorkload)
+{
+    const RunResult l1 =
+        runWorkload("pagerank", quick(MmuDesign::kL1Vc32, 0.2));
+    const RunResult full =
+        runWorkload("pagerank", quick(MmuDesign::kVcOpt, 0.2));
+    EXPECT_LT(full.exec_ticks, l1.exec_ticks);
+}
+
+TEST(RunnerIntegration, DeterministicAcrossRuns)
+{
+    const RunResult a =
+        runWorkload("bfs", quick(MmuDesign::kVcOpt, 0.1));
+    const RunResult b =
+        runWorkload("bfs", quick(MmuDesign::kVcOpt, 0.1));
+    EXPECT_EQ(a.exec_ticks, b.exec_ticks);
+    EXPECT_EQ(a.iommu_accesses, b.iommu_accesses);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(RunnerIntegration, RawSocBypassesDesignDefaults)
+{
+    RunConfig cfg = quick(MmuDesign::kBaseline512, 0.1);
+    cfg.raw_soc = true;
+    cfg.soc.percu_tlb_infinite = true;
+    const RunResult r = runWorkload("pagerank", cfg);
+    // Infinite per-CU TLBs: only demand misses remain.
+    EXPECT_LT(r.tlb_miss_ratio, 0.2);
+}
+
+TEST(RunnerIntegration, BreakdownBucketsSumToMisses)
+{
+    const RunResult r =
+        runWorkload("color_max", quick(MmuDesign::kBaseline512, 0.15));
+    EXPECT_EQ(r.tlb_breakdown.total(), r.tlb_misses);
+}
+
+TEST(RunnerIntegration, NoSynonymOrRwFaultsInPerfWorkloads)
+{
+    for (const char *name : {"pagerank", "bfs", "kmeans"}) {
+        const RunResult r =
+            runWorkload(name, quick(MmuDesign::kVcOpt, 0.1));
+        EXPECT_EQ(r.synonym_replays, 0u) << name;
+        EXPECT_EQ(r.rw_faults, 0u) << name;
+    }
+}
+
+TEST(RunnerIntegration, FbtSecondLevelServesMissesWithOpt)
+{
+    // Shrink the shared TLB so it actually misses; the FBT behind it
+    // then serves translations for resident pages.
+    RunConfig cfg = quick(MmuDesign::kVcOpt, 0.25);
+    cfg.raw_soc = true;
+    cfg.soc.iommu.tlb_entries = 16;
+    cfg.soc.fbt_as_second_level_tlb = true;
+    const RunResult r = runWorkload("pagerank", cfg);
+    EXPECT_GT(r.fbt_second_level_hit_ratio, 0.0);
+}
+
+} // namespace
+} // namespace gvc

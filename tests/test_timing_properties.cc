@@ -1,0 +1,111 @@
+/**
+ * @file
+ * End-to-end timing monotonicity properties: relationships that must
+ * hold between designs and parameter settings regardless of workload
+ * details.  Tiny scales keep each run in milliseconds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+namespace gvc
+{
+namespace
+{
+
+RunConfig
+quick(MmuDesign d, double scale = 0.1)
+{
+    RunConfig cfg;
+    cfg.design = d;
+    cfg.workload.scale = scale;
+    return cfg;
+}
+
+TEST(TimingProperties, IdealIsALowerBound)
+{
+    for (const char *name : {"pagerank", "kmeans", "fw_block"}) {
+        const Tick ideal =
+            runWorkload(name, quick(MmuDesign::kIdeal)).exec_ticks;
+        for (const MmuDesign d :
+             {MmuDesign::kBaseline512, MmuDesign::kBaseline16K,
+              MmuDesign::kVcOpt, MmuDesign::kL1Vc32}) {
+            const Tick t = runWorkload(name, quick(d)).exec_ticks;
+            EXPECT_GE(t, ideal) << name << " under " << designName(d);
+        }
+    }
+}
+
+TEST(TimingProperties, MoreSharedTlbBandwidthNeverHurts)
+{
+    Tick prev = 0;
+    for (const double bw : {4.0, 1.0}) { // descending bandwidth
+        RunConfig cfg = quick(MmuDesign::kBaseline512, 0.15);
+        cfg.soc.iommu.accesses_per_cycle = bw;
+        const Tick t = runWorkload("mis", cfg).exec_ticks;
+        if (prev)
+            EXPECT_GE(t, prev); // less bandwidth => no faster
+        prev = t;
+    }
+}
+
+TEST(TimingProperties, LargerPerCuTlbNeverHurtsMissRatio)
+{
+    double prev = 2.0;
+    for (const unsigned entries : {16u, 64u, 256u}) {
+        RunConfig cfg = quick(MmuDesign::kBaseline16K, 0.15);
+        cfg.raw_soc = true;
+        cfg.soc.percu_tlb_entries = entries;
+        cfg.soc.iommu.tlb_entries = 16 * 1024;
+        const double ratio =
+            runWorkload("pagerank", cfg).tlb_miss_ratio;
+        EXPECT_LE(ratio, prev + 1e-9);
+        prev = ratio;
+    }
+}
+
+TEST(TimingProperties, UnlimitedBwRemovesSerialization)
+{
+    RunConfig cfg = quick(MmuDesign::kBaseline512, 0.15);
+    cfg.soc.iommu.unlimited_bw = true;
+    const RunResult r = runWorkload("mis", cfg);
+    EXPECT_EQ(r.iommu_serialization_mean, 0.0);
+}
+
+TEST(TimingProperties, InjectionLimitNeverSpeedsUp)
+{
+    RunConfig cfg = quick(MmuDesign::kIdeal, 0.15);
+    const Tick unlimited = runWorkload("pagerank", cfg).exec_ticks;
+    cfg.soc.cu_injection_rate = 1.0;
+    const Tick limited = runWorkload("pagerank", cfg).exec_ticks;
+    EXPECT_GE(limited, unlimited);
+}
+
+TEST(TimingProperties, VcIommuTrafficIsBoundedByL2Misses)
+{
+    RunConfig cfg = quick(MmuDesign::kVcOpt, 0.15);
+    const RunResult r = runWorkload("pagerank", cfg);
+    // Each shared-TLB access serves at least one L2 miss (per-page
+    // coalescing can only reduce, never amplify, the request count).
+    const std::uint64_t l2_misses =
+        r.l2_accesses -
+        std::uint64_t(r.l2_hit_ratio * double(r.l2_accesses));
+    EXPECT_LE(r.iommu_accesses, l2_misses + 1);
+}
+
+TEST(TimingProperties, SeedChangesGraphButNotDeterminism)
+{
+    RunConfig a = quick(MmuDesign::kVcOpt, 0.1);
+    a.workload.seed = 11;
+    RunConfig b = a;
+    b.workload.seed = 12;
+    const RunResult r1 = runWorkload("pagerank", a);
+    const RunResult r2 = runWorkload("pagerank", a);
+    const RunResult r3 = runWorkload("pagerank", b);
+    EXPECT_EQ(r1.exec_ticks, r2.exec_ticks);
+    EXPECT_NE(r1.exec_ticks, r3.exec_ticks); // different R-MAT graph
+}
+
+} // namespace
+} // namespace gvc

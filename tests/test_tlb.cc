@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the set-associative TLB, including the parameterized
+ * geometry sweep used by the Figure 2 experiments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/rng.hh"
+#include "tlb/tlb.hh"
+
+namespace gvc
+{
+namespace
+{
+
+TlbLookup
+xlate(Ppn ppn, Perms perms = kPermRead | kPermWrite)
+{
+    return TlbLookup{ppn, perms, false};
+}
+
+TEST(Tlb, MissThenHitAfterInsert)
+{
+    Tlb tlb(TlbParams{32, 0, false, false});
+    EXPECT_FALSE(tlb.lookup(0, 5, 0).has_value());
+    tlb.insert(0, 5, xlate(50), 0);
+    const auto hit = tlb.lookup(0, 5, 1);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->ppn, 50u);
+    EXPECT_EQ(tlb.accesses(), 2u);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, AsidsAreDisjoint)
+{
+    Tlb tlb(TlbParams{32, 0, false, false});
+    tlb.insert(1, 5, xlate(10), 0);
+    tlb.insert(2, 5, xlate(20), 0);
+    EXPECT_EQ(tlb.lookup(1, 5, 0)->ppn, 10u);
+    EXPECT_EQ(tlb.lookup(2, 5, 0)->ppn, 20u);
+}
+
+TEST(Tlb, LruEvictionInFullyAssociative)
+{
+    Tlb tlb(TlbParams{4, 0, false, false});
+    for (Vpn v = 0; v < 4; ++v)
+        tlb.insert(0, v, xlate(v), 0);
+    // Touch 0 so 1 becomes LRU.
+    tlb.lookup(0, 0, 1);
+    tlb.insert(0, 99, xlate(99), 2);
+    EXPECT_TRUE(tlb.present(0, 0));
+    EXPECT_FALSE(tlb.present(0, 1));
+    EXPECT_TRUE(tlb.present(0, 99));
+}
+
+TEST(Tlb, ReinsertUpdatesInPlace)
+{
+    Tlb tlb(TlbParams{4, 0, false, false});
+    tlb.insert(0, 7, xlate(70), 0);
+    tlb.insert(0, 7, xlate(71), 1);
+    EXPECT_EQ(tlb.lookup(0, 7, 2)->ppn, 71u);
+}
+
+TEST(Tlb, InvalidatePageRemovesOnlyThatPage)
+{
+    Tlb tlb(TlbParams{32, 0, false, false});
+    tlb.insert(0, 1, xlate(1), 0);
+    tlb.insert(0, 2, xlate(2), 0);
+    EXPECT_TRUE(tlb.invalidatePage(0, 1));
+    EXPECT_FALSE(tlb.present(0, 1));
+    EXPECT_TRUE(tlb.present(0, 2));
+    EXPECT_FALSE(tlb.invalidatePage(0, 1));
+}
+
+TEST(Tlb, InvalidateAsidKeepsOthers)
+{
+    Tlb tlb(TlbParams{32, 0, false, false});
+    tlb.insert(1, 1, xlate(1), 0);
+    tlb.insert(2, 1, xlate(2), 0);
+    tlb.invalidateAsid(1);
+    EXPECT_FALSE(tlb.present(1, 1));
+    EXPECT_TRUE(tlb.present(2, 1));
+}
+
+TEST(Tlb, InfiniteNeverEvicts)
+{
+    Tlb tlb(TlbParams{32, 0, /*infinite=*/true, false});
+    for (Vpn v = 0; v < 10000; ++v)
+        tlb.insert(0, v, xlate(v), 0);
+    for (Vpn v = 0; v < 10000; ++v)
+        EXPECT_TRUE(tlb.present(0, v));
+}
+
+TEST(Tlb, InfiniteInvalidateAsid)
+{
+    Tlb tlb(TlbParams{32, 0, true, false});
+    tlb.insert(3, 42, xlate(1), 0);
+    tlb.insert(4, 42, xlate(2), 0);
+    tlb.invalidateAsid(3);
+    EXPECT_FALSE(tlb.present(3, 42));
+    EXPECT_TRUE(tlb.present(4, 42));
+}
+
+TEST(Tlb, LifetimesRecordedOnEviction)
+{
+    TlbParams p{1, 0, false, true};
+    Tlb tlb(p);
+    tlb.insert(0, 1, xlate(1), 100);
+    tlb.insert(0, 2, xlate(2), 600); // evicts vpn 1 (lifetime 500)
+    EXPECT_EQ(tlb.lifetimes().distribution().count(), 1u);
+    EXPECT_EQ(tlb.lifetimes().distribution().mean(), 500.0);
+}
+
+/** Property sweep over geometries: capacity and LRU order hold. */
+class TlbGeometry : public ::testing::TestWithParam<
+                        std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(TlbGeometry, NeverExceedsCapacityAndAlwaysHoldsMru)
+{
+    const auto [entries, assoc] = GetParam();
+    Tlb tlb(TlbParams{entries, assoc, false, false});
+    Rng rng(entries * 131 + assoc);
+    Vpn last = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Vpn vpn = rng.below(512);
+        tlb.insert(0, vpn, xlate(vpn), Tick(i));
+        last = vpn;
+        // The most recently inserted entry must be present.
+        EXPECT_TRUE(tlb.present(0, last));
+    }
+    // Count resident entries: at most `entries`.
+    unsigned resident = 0;
+    for (Vpn v = 0; v < 512; ++v)
+        resident += tlb.present(0, v) ? 1 : 0;
+    EXPECT_LE(resident, entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TlbGeometry,
+    ::testing::Values(std::make_tuple(32u, 0u), std::make_tuple(32u, 4u),
+                      std::make_tuple(64u, 8u), std::make_tuple(128u, 0u),
+                      std::make_tuple(16u, 2u),
+                      std::make_tuple(512u, 8u)));
+
+} // namespace
+} // namespace gvc

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the virtual memory manager: mappings, synonyms,
+ * homonyms, shootdown notification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/vm.hh"
+
+namespace gvc
+{
+namespace
+{
+
+class VmTest : public ::testing::Test
+{
+  protected:
+    PhysMem pm_{std::uint64_t{1} << 30};
+    Vm vm_{pm_};
+};
+
+TEST_F(VmTest, MmapMapsEveryPageEagerly)
+{
+    const Asid a = vm_.createProcess();
+    const Vaddr base = vm_.mmapAnon(a, 10 * kPageSize);
+    for (int i = 0; i < 10; ++i) {
+        const auto t = vm_.translate(a, base + i * kPageSize);
+        ASSERT_TRUE(t.has_value());
+        EXPECT_TRUE(permsAllow(t->perms, kPermRead | kPermWrite));
+    }
+}
+
+TEST_F(VmTest, MmapRoundsUpPartialPages)
+{
+    const Asid a = vm_.createProcess();
+    const Vaddr base = vm_.mmapAnon(a, kPageSize + 1);
+    EXPECT_TRUE(vm_.translate(a, base + kPageSize).has_value());
+}
+
+TEST_F(VmTest, RegionsDoNotOverlap)
+{
+    const Asid a = vm_.createProcess();
+    const Vaddr r1 = vm_.mmapAnon(a, 4 * kPageSize);
+    const Vaddr r2 = vm_.mmapAnon(a, 4 * kPageSize);
+    EXPECT_GE(r2, r1 + 4 * kPageSize);
+}
+
+TEST_F(VmTest, DistinctPagesGetDistinctFrames)
+{
+    const Asid a = vm_.createProcess();
+    const Vaddr base = vm_.mmapAnon(a, 2 * kPageSize);
+    EXPECT_NE(vm_.translate(a, base)->ppn,
+              vm_.translate(a, base + kPageSize)->ppn);
+}
+
+TEST_F(VmTest, IntraProcessAliasSharesFrames)
+{
+    const Asid a = vm_.createProcess();
+    const Vaddr orig = vm_.mmapAnon(a, 3 * kPageSize);
+    const Vaddr alias = vm_.alias(a, a, orig, 3 * kPageSize);
+    EXPECT_NE(alias, orig);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(vm_.translate(a, alias + i * kPageSize)->ppn,
+                  vm_.translate(a, orig + i * kPageSize)->ppn);
+    }
+}
+
+TEST_F(VmTest, CrossProcessAliasSharesFrames)
+{
+    const Asid a = vm_.createProcess();
+    const Asid b = vm_.createProcess();
+    const Vaddr orig = vm_.mmapAnon(a, kPageSize);
+    const Vaddr shared = vm_.alias(b, a, orig, kPageSize);
+    EXPECT_EQ(vm_.translate(b, shared)->ppn, vm_.translate(a, orig)->ppn);
+}
+
+TEST_F(VmTest, HomonymsTranslateIndependently)
+{
+    const Asid a = vm_.createProcess();
+    const Asid b = vm_.createProcess();
+    const Vaddr va_a = vm_.mmapAnon(a, kPageSize);
+    const Vaddr va_b = vm_.mmapAnon(b, kPageSize);
+    // Both processes allocate at the same VA (same bump allocator).
+    EXPECT_EQ(va_a, va_b);
+    EXPECT_NE(vm_.translate(a, va_a)->ppn, vm_.translate(b, va_b)->ppn);
+}
+
+TEST_F(VmTest, ProtectFiresShootdownPerPage)
+{
+    const Asid a = vm_.createProcess();
+    std::vector<Vpn> shot;
+    vm_.addPageShootdownListener(
+        [&](Asid, Vpn vpn) { shot.push_back(vpn); });
+    const Vaddr base = vm_.mmapAnon(a, 3 * kPageSize);
+    vm_.protect(a, base, 3 * kPageSize, kPermRead);
+    EXPECT_EQ(shot.size(), 3u);
+    EXPECT_EQ(shot[0], pageOf(base));
+    EXPECT_EQ(vm_.translate(a, base)->perms, kPermRead);
+}
+
+TEST_F(VmTest, UnmapFiresShootdownAndRemoves)
+{
+    const Asid a = vm_.createProcess();
+    int shots = 0;
+    vm_.addPageShootdownListener([&](Asid, Vpn) { ++shots; });
+    const Vaddr base = vm_.mmapAnon(a, 2 * kPageSize);
+    vm_.unmap(a, base, 2 * kPageSize);
+    EXPECT_EQ(shots, 2);
+    EXPECT_FALSE(vm_.translate(a, base).has_value());
+}
+
+TEST_F(VmTest, FullShootdownNotifiesListeners)
+{
+    const Asid a = vm_.createProcess();
+    Asid seen = 999;
+    vm_.addFullShootdownListener([&](Asid asid) { seen = asid; });
+    vm_.shootdownAll(a);
+    EXPECT_EQ(seen, a);
+}
+
+TEST_F(VmTest, LargeMappingIsLarge)
+{
+    const Asid a = vm_.createProcess();
+    const Vaddr base = vm_.mmapAnonLarge(a, kLargePageSize);
+    const auto t = vm_.translate(a, base + 123 * kPageSize);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_TRUE(t->large);
+    EXPECT_EQ(base % kLargePageSize, 0u);
+}
+
+TEST_F(VmTest, ShootdownCounterCounts)
+{
+    const Asid a = vm_.createProcess();
+    const Vaddr base = vm_.mmapAnon(a, 4 * kPageSize);
+    vm_.protect(a, base, 2 * kPageSize, kPermRead);
+    EXPECT_EQ(vm_.pageShootdowns(), 2u);
+}
+
+} // namespace
+} // namespace gvc

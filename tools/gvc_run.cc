@@ -1,0 +1,231 @@
+/**
+ * @file
+ * gvc_run — command-line driver: run any (workload, MMU design) pair
+ * with structure sizes overridable from the command line, and print a
+ * full statistics report.
+ *
+ *   gvc_run --list
+ *   gvc_run --workload pagerank --design vc-opt
+ *   gvc_run -w mis -d baseline-512 --scale 1.0 --iommu-bw 2
+ *   gvc_run -w bfs -d vc-opt --fbt-entries 4096 --remap-entries 256
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "harness/energy.hh"
+#include "harness/runner.hh"
+
+using namespace gvc;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "pagerank";
+    std::string design = "vc-opt";
+    RunConfig cfg;
+    bool dump_stats = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: gvc_run [options]\n"
+        "  -w, --workload NAME     workload (see --list)\n"
+        "  -d, --design NAME       ideal | baseline-512 | baseline-16k |\n"
+        "                          baseline-large-tlb | vc | vc-opt |\n"
+        "                          l1vc-32 | l1vc-128\n"
+        "      --scale F           workload scale factor (default 0.5)\n"
+        "      --seed N            workload RNG seed\n"
+        "      --percu-tlb N       per-CU TLB entries (raw mode)\n"
+        "      --iommu-tlb N       shared IOMMU TLB entries (raw mode)\n"
+        "      --iommu-bw F        shared TLB accesses/cycle\n"
+        "      --iommu-banks N     shared TLB banks\n"
+        "      --fbt-entries N     FBT entries (raw mode)\n"
+        "      --remap-entries N   synonym remap table entries\n"
+        "      --cus N             number of compute units\n"
+        "      --stats             dump the full statistics registry\n"
+        "      --list              list workloads and exit\n"
+        "      --help              this text\n");
+    std::exit(code);
+}
+
+MmuDesign
+parseDesign(const std::string &name)
+{
+    if (name == "ideal")
+        return MmuDesign::kIdeal;
+    if (name == "baseline-512")
+        return MmuDesign::kBaseline512;
+    if (name == "baseline-16k")
+        return MmuDesign::kBaseline16K;
+    if (name == "baseline-large-tlb")
+        return MmuDesign::kBaselineLargeTlb;
+    if (name == "vc")
+        return MmuDesign::kVcNoOpt;
+    if (name == "vc-opt")
+        return MmuDesign::kVcOpt;
+    if (name == "l1vc-32")
+        return MmuDesign::kL1Vc32;
+    if (name == "l1vc-128")
+        return MmuDesign::kL1Vc128;
+    fatal("unknown design '" + name + "' (try --help)");
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    opt.cfg.workload.scale = 0.5;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(1);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage(0);
+        } else if (a == "--stats") {
+            opt.dump_stats = true;
+        } else if (a == "--list") {
+            for (const auto &n : allWorkloadNames())
+                std::printf("%s\n", n.c_str());
+            for (const auto &n : extraWorkloadNames())
+                std::printf("%s (extra)\n", n.c_str());
+            std::exit(0);
+        } else if (a == "-w" || a == "--workload") {
+            opt.workload = need(i);
+        } else if (a == "-d" || a == "--design") {
+            opt.design = need(i);
+        } else if (a == "--scale") {
+            opt.cfg.workload.scale = std::atof(need(i));
+        } else if (a == "--seed") {
+            opt.cfg.workload.seed = std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--percu-tlb") {
+            opt.cfg.soc.percu_tlb_entries =
+                unsigned(std::atoi(need(i)));
+            opt.cfg.raw_soc = true;
+        } else if (a == "--iommu-tlb") {
+            opt.cfg.soc.iommu.tlb_entries =
+                unsigned(std::atoi(need(i)));
+            opt.cfg.raw_soc = true;
+        } else if (a == "--iommu-bw") {
+            opt.cfg.soc.iommu.accesses_per_cycle = std::atof(need(i));
+        } else if (a == "--iommu-banks") {
+            opt.cfg.soc.iommu.banks = unsigned(std::atoi(need(i)));
+        } else if (a == "--fbt-entries") {
+            opt.cfg.soc.fbt.entries = unsigned(std::atoi(need(i)));
+            opt.cfg.raw_soc = true;
+        } else if (a == "--remap-entries") {
+            opt.cfg.soc.synonym_remap_entries =
+                unsigned(std::atoi(need(i)));
+        } else if (a == "--cus") {
+            opt.cfg.soc.gpu.num_cus = unsigned(std::atoi(need(i)));
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(1);
+        }
+    }
+    opt.cfg.design = parseDesign(opt.design);
+    if (opt.cfg.raw_soc) {
+        // Raw mode skips configFor(): carry over the design's
+        // structural intent for the bits the user did not override.
+        SocConfig defaults = configFor(opt.cfg.design, {});
+        if (opt.cfg.soc.iommu.tlb_entries == IommuParams{}.tlb_entries)
+            opt.cfg.soc.iommu.tlb_entries = defaults.iommu.tlb_entries;
+        opt.cfg.soc.fbt_as_second_level_tlb =
+            defaults.fbt_as_second_level_tlb;
+        opt.cfg.soc.percu_tlb_infinite = defaults.percu_tlb_infinite;
+        opt.cfg.soc.iommu.tlb_infinite = defaults.iommu.tlb_infinite;
+        opt.cfg.soc.iommu.unlimited_bw =
+            opt.cfg.soc.iommu.unlimited_bw ||
+            defaults.iommu.unlimited_bw;
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+    std::printf("gvc_run: %s under %s (scale %.2f, seed %llu)\n\n",
+                opt.workload.c_str(), designName(opt.cfg.design),
+                opt.cfg.workload.scale,
+                (unsigned long long)opt.cfg.workload.seed);
+
+    std::string stats_dump;
+    const RunResult r = runWorkload(
+        opt.workload, opt.cfg,
+        [&](SystemUnderTest &sut, Gpu &, SimContext &ctx) {
+            if (!opt.dump_stats)
+                return;
+            sut.registerStats(ctx.stats);
+            std::ostringstream os;
+            ctx.stats.dump(os);
+            stats_dump = os.str();
+        });
+    const EnergyEstimate e = estimateEnergy(r);
+
+    std::printf("execution\n");
+    std::printf("  cycles                  : %llu\n",
+                (unsigned long long)r.exec_ticks);
+    std::printf("  warp instructions       : %llu (%llu memory)\n",
+                (unsigned long long)r.instructions,
+                (unsigned long long)r.mem_instructions);
+    std::printf("  lines per mem inst      : %.2f\n",
+                r.lines_per_mem_inst);
+    std::printf("caches\n");
+    std::printf("  L1 accesses / hit ratio : %llu / %.1f%%\n",
+                (unsigned long long)r.l1_accesses,
+                100.0 * r.l1_hit_ratio);
+    std::printf("  L2 accesses / hit ratio : %llu / %.1f%%\n",
+                (unsigned long long)r.l2_accesses,
+                100.0 * r.l2_hit_ratio);
+    std::printf("  DRAM traffic            : %llu accesses, %.1f MB\n",
+                (unsigned long long)r.dram_accesses,
+                double(r.dram_bytes) / (1 << 20));
+    std::printf("translation\n");
+    if (r.tlb_accesses) {
+        std::printf("  per-CU TLB              : %llu accesses, %.1f%% "
+                    "miss\n",
+                    (unsigned long long)r.tlb_accesses,
+                    100.0 * r.tlb_miss_ratio);
+    }
+    std::printf("  shared IOMMU TLB        : %llu accesses "
+                "(%.3f/cycle mean, %.3f max)\n",
+                (unsigned long long)r.iommu_accesses, r.iommu_apc_mean,
+                r.iommu_apc_max);
+    std::printf("  mean serialization      : %.1f cycles/access\n",
+                r.iommu_serialization_mean);
+    std::printf("  page walks              : %llu\n",
+                (unsigned long long)r.page_walks);
+    if (r.fbt_lookups) {
+        std::printf("  FBT lookups             : %llu (second-level "
+                    "TLB hit %.1f%%)\n",
+                    (unsigned long long)r.fbt_lookups,
+                    100.0 * r.fbt_second_level_hit_ratio);
+        std::printf("  FBT resident pages      : %llu (purges %llu)\n",
+                    (unsigned long long)r.fbt_valid_pages,
+                    (unsigned long long)r.fbt_purges);
+        std::printf("  synonym replays/faults  : %llu / %llu\n",
+                    (unsigned long long)r.synonym_replays,
+                    (unsigned long long)r.rw_faults);
+    }
+    if (opt.dump_stats) {
+        std::printf("statistics registry\n%s", stats_dump.c_str());
+    }
+    std::printf("energy estimate (illustrative)\n");
+    std::printf("  translation / caches / DRAM : %.0f / %.0f / %.0f "
+                "nJ\n",
+                e.translation_nj, e.cache_nj, e.dram_nj);
+    return 0;
+}
