@@ -1,11 +1,15 @@
 /**
  * @file
  * Shared bench-harness plumbing: environment-variable knobs so every
- * figure bench can be scaled or restricted without rebuilding.
+ * figure bench can be scaled or restricted without rebuilding, and the
+ * common "run every comparison point plus the IDEAL MMU and ratio
+ * against it" pattern, built on the parallel sweep engine so figure
+ * grids execute across all cores (override with GVC_JOBS).
  *
  *   GVC_SCALE      workload scale factor (default 0.5)
  *   GVC_WORKLOADS  comma-separated subset of workload names
  *   GVC_SEED       workload RNG seed
+ *   GVC_JOBS       sweep worker threads (default: hardware cores)
  */
 
 #ifndef GVC_BENCH_BENCH_COMMON_HH
@@ -13,11 +17,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 #include "workloads/registry.hh"
 
@@ -64,6 +72,131 @@ baseConfig()
     cfg.workload.scale = envScale();
     cfg.workload.seed = envSeed();
     return cfg;
+}
+
+/**
+ * One comparison point of a figure: a design plus an optional config
+ * tweak (bandwidth overrides, unlimited ports, ...).
+ */
+struct DesignPoint
+{
+    std::string label;
+    MmuDesign design = MmuDesign::kBaseline512;
+    std::function<void(RunConfig &)> tweak;
+};
+
+class VsIdealGrid;
+
+/** Run @p points plus the IDEAL MMU over @p workloads in parallel. */
+VsIdealGrid runVsIdeal(const std::vector<std::string> &workloads,
+                       const std::vector<DesignPoint> &points,
+                       const RunConfig &base, unsigned jobs = 0);
+
+/** Same grid without the IDEAL runs (figures that ratio two points). */
+VsIdealGrid runGrid(const std::vector<std::string> &workloads,
+                    const std::vector<DesignPoint> &points,
+                    const RunConfig &base, unsigned jobs = 0);
+
+/**
+ * Results of a (workload x comparison-point) grid normalized against
+ * the IDEAL MMU, the pattern fig04/fig05/fig09/fig10 all share.  The
+ * IDEAL run per workload is one sweep cell, memoized and simulated
+ * exactly once no matter how many points reference it.
+ */
+class VsIdealGrid
+{
+  public:
+    const RunResult &
+    ideal(const std::string &workload) const
+    {
+        return sweep_.result(ideal_idx_.at(workload));
+    }
+
+    const RunResult &
+    at(const std::string &workload, std::size_t point) const
+    {
+        return sweep_.result(point_idx_.at(workload).at(point));
+    }
+
+    double
+    idealTicks(const std::string &workload) const
+    {
+        return double(ideal(workload).exec_ticks);
+    }
+
+    double
+    ticks(const std::string &workload, std::size_t point) const
+    {
+        return double(at(workload, point).exec_ticks);
+    }
+
+    /** Execution time relative to IDEAL (>= 1.0 means slower). */
+    double
+    relTime(const std::string &workload, std::size_t point) const
+    {
+        return ticks(workload, point) / idealTicks(workload);
+    }
+
+    /** Performance relative to IDEAL (closer to 1.0 is better). */
+    double
+    perf(const std::string &workload, std::size_t point) const
+    {
+        return idealTicks(workload) / ticks(workload, point);
+    }
+
+    const Sweep &sweep() const { return sweep_; }
+
+  private:
+    friend VsIdealGrid detailRunGrid(const std::vector<std::string> &,
+                                     const std::vector<DesignPoint> &,
+                                     const RunConfig &, unsigned, bool);
+
+    Sweep sweep_;
+    std::map<std::string, std::size_t> ideal_idx_;
+    std::map<std::string, std::vector<std::size_t>> point_idx_;
+};
+
+inline VsIdealGrid
+detailRunGrid(const std::vector<std::string> &workloads,
+              const std::vector<DesignPoint> &points,
+              const RunConfig &base, unsigned jobs, bool with_ideal)
+{
+    VsIdealGrid grid;
+    if (jobs)
+        grid.sweep_ = Sweep(jobs);
+    for (const auto &name : workloads) {
+        if (with_ideal) {
+            RunConfig ideal_cfg = base;
+            ideal_cfg.design = MmuDesign::kIdeal;
+            grid.ideal_idx_[name] = grid.sweep_.add(name, ideal_cfg);
+        }
+        auto &indices = grid.point_idx_[name];
+        for (const DesignPoint &point : points) {
+            RunConfig cfg = base;
+            cfg.design = point.design;
+            if (point.tweak)
+                point.tweak(cfg);
+            indices.push_back(grid.sweep_.add(name, cfg, point.label));
+        }
+    }
+    grid.sweep_.run();
+    return grid;
+}
+
+inline VsIdealGrid
+runVsIdeal(const std::vector<std::string> &workloads,
+           const std::vector<DesignPoint> &points, const RunConfig &base,
+           unsigned jobs)
+{
+    return detailRunGrid(workloads, points, base, jobs, true);
+}
+
+inline VsIdealGrid
+runGrid(const std::vector<std::string> &workloads,
+        const std::vector<DesignPoint> &points, const RunConfig &base,
+        unsigned jobs)
+{
+    return detailRunGrid(workloads, points, base, jobs, false);
 }
 
 inline void

@@ -10,6 +10,8 @@
  * the shared TLB.  Paper: Small IOMMU TLB ≈ 1.77x IDEAL runtime for the
  * high-BW set (~1.32x over all); a large TLB barely helps because the
  * overhead is serialization, not capacity.
+ *
+ * All five points per workload run through the parallel sweep engine.
  */
 
 #include <cstdio>
@@ -28,6 +30,9 @@ struct Totals
            large_inf = 0;
 };
 
+constexpr std::size_t kSmallBw1 = 0, kSmallInf = 1, kLargeBw1 = 2,
+                      kLargeInf = 3;
+
 } // namespace
 
 int
@@ -36,33 +41,30 @@ main()
     banner("Figure 4", "translation overhead: IDEAL vs small/large "
                        "shared IOMMU TLB");
 
+    const auto unlimited = [](RunConfig &cfg) {
+        cfg.soc.iommu.unlimited_bw = true;
+    };
+    const std::vector<DesignPoint> points = {
+        {"small bw1", MmuDesign::kBaseline512, {}},
+        {"small inf", MmuDesign::kBaseline512, unlimited},
+        {"large bw1", MmuDesign::kBaseline16K, {}},
+        {"large inf", MmuDesign::kBaseline16K, unlimited},
+    };
+
+    const auto names = envWorkloads(allWorkloadNames());
+    const VsIdealGrid grid = runVsIdeal(names, points, baseConfig());
+
     TextTable table({"workload", "IDEAL", "Small IOMMU TLB",
                      "Large IOMMU TLB", "Small (miss-latency part)",
                      "Small (serialization part)"});
 
     Totals t;
-    unsigned n = 0;
-    for (const auto &name : envWorkloads(allWorkloadNames())) {
-        RunConfig cfg = baseConfig();
-
-        cfg.design = MmuDesign::kIdeal;
-        const double ideal =
-            double(runWorkload(name, cfg).exec_ticks);
-
-        cfg.design = MmuDesign::kBaseline512;
-        const double small_bw1 =
-            double(runWorkload(name, cfg).exec_ticks);
-        cfg.soc.iommu.unlimited_bw = true;
-        const double small_inf =
-            double(runWorkload(name, cfg).exec_ticks);
-        cfg.soc.iommu.unlimited_bw = false;
-
-        cfg.design = MmuDesign::kBaseline16K;
-        const double large_bw1 =
-            double(runWorkload(name, cfg).exec_ticks);
-        cfg.soc.iommu.unlimited_bw = true;
-        const double large_inf =
-            double(runWorkload(name, cfg).exec_ticks);
+    for (const auto &name : names) {
+        const double ideal = grid.idealTicks(name);
+        const double small_bw1 = grid.ticks(name, kSmallBw1);
+        const double small_inf = grid.ticks(name, kSmallInf);
+        const double large_bw1 = grid.ticks(name, kLargeBw1);
+        const double large_inf = grid.ticks(name, kLargeInf);
 
         const double ptw_part = (small_inf - ideal) / ideal;
         const double ser_part = (small_bw1 - small_inf) / ideal;
@@ -77,7 +79,6 @@ main()
         t.small_inf += small_inf;
         t.large_bw1 += large_bw1;
         t.large_inf += large_inf;
-        ++n;
     }
     table.print();
 

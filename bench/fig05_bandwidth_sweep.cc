@@ -6,6 +6,9 @@
  * swept from 1 to 4 accesses/cycle.  Paper: overhead shrinks with
  * bandwidth but even 4 accesses/cycle leaves a residual — and such a
  * port is impractical to build — motivating filtering instead.
+ *
+ * The whole (workload x bandwidth) grid runs through the parallel
+ * sweep engine in one shot.
  */
 
 #include <cstdio>
@@ -22,43 +25,36 @@ main()
            "IOMMU TLB bandwidth sweep (high-BW workloads, 16K TLB)");
 
     const auto names = envWorkloads(highBandwidthWorkloadNames());
+    const std::vector<double> rates = {1.0, 2.0, 3.0, 4.0};
 
-    // IDEAL per workload.
-    std::vector<double> ideal;
+    // Point 0: unlimited bandwidth = pure PTW overhead reference;
+    // points 1..4: the swept port rates.
+    std::vector<DesignPoint> points;
+    points.push_back({"inf", MmuDesign::kBaseline16K, [](RunConfig &c) {
+                          c.soc.iommu.unlimited_bw = true;
+                      }});
+    for (const double bw : rates) {
+        points.push_back({"bw" + TextTable::fmt(bw, 0),
+                          MmuDesign::kBaseline16K, [bw](RunConfig &c) {
+                              c.soc.iommu.accesses_per_cycle = bw;
+                          }});
+    }
+
+    const VsIdealGrid grid = runVsIdeal(names, points, baseConfig());
+
+    double ideal_total = 0.0, nobw_total = 0.0;
     for (const auto &name : names) {
-        RunConfig cfg = baseConfig();
-        cfg.design = MmuDesign::kIdeal;
-        ideal.push_back(double(runWorkload(name, cfg).exec_ticks));
+        ideal_total += grid.idealTicks(name);
+        nobw_total += grid.ticks(name, 0);
     }
 
     TextTable table({"peak BW (acc/cycle)", "relative exec time",
                      "serialization overhead"});
-
-    double nobw_total = 0.0, ideal_total = 0.0;
-    for (std::size_t i = 0; i < names.size(); ++i)
-        ideal_total += ideal[i];
-
-    // Unlimited bandwidth = pure PTW overhead reference.
-    {
+    for (std::size_t p = 1; p < points.size(); ++p) {
         double total = 0.0;
-        for (const auto &name : names) {
-            RunConfig cfg = baseConfig();
-            cfg.design = MmuDesign::kBaseline16K;
-            cfg.soc.iommu.unlimited_bw = true;
-            total += double(runWorkload(name, cfg).exec_ticks);
-        }
-        nobw_total = total;
-    }
-
-    for (const double bw : {1.0, 2.0, 3.0, 4.0}) {
-        double total = 0.0;
-        for (const auto &name : names) {
-            RunConfig cfg = baseConfig();
-            cfg.design = MmuDesign::kBaseline16K;
-            cfg.soc.iommu.accesses_per_cycle = bw;
-            total += double(runWorkload(name, cfg).exec_ticks);
-        }
-        table.addRow({TextTable::fmt(bw, 0),
+        for (const auto &name : names)
+            total += grid.ticks(name, p);
+        table.addRow({TextTable::fmt(rates[p - 1], 0),
                       TextTable::pct(total / ideal_total, 0),
                       TextTable::pct((total - nobw_total) / ideal_total,
                                      0)});

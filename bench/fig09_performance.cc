@@ -9,11 +9,13 @@
  * for the high-BW set and across all 15 workloads.  Paper: baselines
  * lose ~42% on the high-BW set (~32% over all); VC With OPT is within
  * a few percent of IDEAL; the FBT catches ~74% of shared TLB misses.
+ *
+ * The (workload x design) grid runs through the parallel sweep engine;
+ * each IDEAL normalization run is simulated once (memoized).
  */
 
 #include <algorithm>
 #include <cstdio>
-#include <map>
 
 #include "bench_common.hh"
 
@@ -28,28 +30,24 @@ main()
 
     std::printf("%s\n", designTable().c_str());
 
-    const MmuDesign designs[] = {
-        MmuDesign::kBaseline512, MmuDesign::kBaseline16K,
-        MmuDesign::kVcNoOpt, MmuDesign::kVcOpt};
+    const std::vector<DesignPoint> points = {
+        {"Baseline 512", MmuDesign::kBaseline512, {}},
+        {"Baseline 16K", MmuDesign::kBaseline16K, {}},
+        {"VC W/O OPT", MmuDesign::kVcNoOpt, {}},
+        {"VC With OPT", MmuDesign::kVcOpt, {}},
+    };
 
     const auto all = envWorkloads(allWorkloadNames());
     const auto &high = highBandwidthWorkloadNames();
 
-    // perf[design][workload] = T_ideal / T_design.
-    std::map<MmuDesign, std::map<std::string, double>> perf;
-    std::map<std::string, double> ideal_ticks;
+    const VsIdealGrid grid = runVsIdeal(all, points, baseConfig());
+
     double fbt_hit_sum = 0.0;
     unsigned fbt_hit_n = 0;
-
     for (const auto &name : all) {
-        RunConfig cfg = baseConfig();
-        cfg.design = MmuDesign::kIdeal;
-        ideal_ticks[name] = double(runWorkload(name, cfg).exec_ticks);
-        for (const MmuDesign d : designs) {
-            cfg.design = d;
-            const RunResult r = runWorkload(name, cfg);
-            perf[d][name] = ideal_ticks[name] / double(r.exec_ticks);
-            if (d == MmuDesign::kVcOpt &&
+        for (std::size_t p = 0; p < points.size(); ++p) {
+            const RunResult &r = grid.at(name, p);
+            if (points[p].design == MmuDesign::kVcOpt &&
                 r.fbt_second_level_hit_ratio > 0) {
                 fbt_hit_sum += r.fbt_second_level_hit_ratio;
                 ++fbt_hit_n;
@@ -62,15 +60,15 @@ main()
     auto add_row = [&](const std::string &label,
                        const std::vector<std::string> &subset) {
         std::vector<std::string> cells{label};
-        for (const MmuDesign d : designs) {
+        for (std::size_t p = 0; p < points.size(); ++p) {
             double sum = 0.0;
             unsigned n = 0;
             for (const auto &name : subset) {
-                auto it = perf[d].find(name);
-                if (it != perf[d].end()) {
-                    sum += it->second;
-                    ++n;
-                }
+                if (std::find(all.begin(), all.end(), name) ==
+                    all.end())
+                    continue;
+                sum += grid.perf(name, p);
+                ++n;
             }
             cells.push_back(n ? TextTable::fmt(sum / n, 2) : "-");
         }

@@ -5,6 +5,8 @@
  * a 16K-entry shared IOMMU TLB.  Paper: the VC still wins ~1.2x on
  * average over the high-BW workloads — big private TLBs filter some
  * accesses, the cache hierarchy filters more.
+ *
+ * Both designs per workload run through the parallel sweep engine.
  */
 
 #include <cmath>
@@ -21,17 +23,21 @@ main()
     banner("Figure 10",
            "VC hierarchy speedup over 128-entry per-CU TLBs");
 
+    const std::vector<DesignPoint> points = {
+        {"large-tlb", MmuDesign::kBaselineLargeTlb, {}},
+        {"vc-opt", MmuDesign::kVcOpt, {}},
+    };
+    const auto names = envWorkloads(highBandwidthWorkloadNames());
+    const VsIdealGrid grid = runGrid(names, points, baseConfig());
+
     TextTable table({"workload", "large-TLB cycles", "VC cycles",
                      "speedup"});
 
     double geo = 1.0, sum = 0.0;
     unsigned n = 0;
-    for (const auto &name : envWorkloads(highBandwidthWorkloadNames())) {
-        RunConfig cfg = baseConfig();
-        cfg.design = MmuDesign::kBaselineLargeTlb;
-        const RunResult big = runWorkload(name, cfg);
-        cfg.design = MmuDesign::kVcOpt;
-        const RunResult vc = runWorkload(name, cfg);
+    for (const auto &name : names) {
+        const RunResult &big = grid.at(name, 0);
+        const RunResult &vc = grid.at(name, 1);
 
         const double speedup =
             double(big.exec_ticks) / double(vc.exec_ticks);

@@ -1,0 +1,701 @@
+#include "harness/results_io.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace gvc
+{
+
+// ---------------------------------------------------------------------
+// Json value
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Shortest "%g" form of @p v that parses back to exactly @p v. */
+std::string
+doubleLexeme(double v)
+{
+    char buf[40];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    // JSON has no inf/nan; clamp to null-ish zero (results never
+    // produce them, but a panic in an export path helps nobody).
+    if (!std::isfinite(v))
+        return "0";
+    return buf;
+}
+
+} // namespace
+
+Json::Json(double v) : type_(Type::kNumber), num_(v), str_(doubleLexeme(v))
+{
+}
+
+Json::Json(std::uint64_t v) : type_(Type::kNumber), num_(double(v))
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+    str_ = buf;
+}
+
+std::uint64_t
+Json::asU64() const
+{
+    if (type_ != Type::kNumber)
+        return 0;
+    return std::strtoull(str_.c_str(), nullptr, 10);
+}
+
+void
+Json::push(Json v)
+{
+    panicIfNot(type_ == Type::kArray, "Json::push on non-array");
+    elems_.push_back(std::move(v));
+}
+
+void
+Json::set(std::string key, Json v)
+{
+    panicIfNot(type_ == Type::kObject, "Json::set on non-object");
+    for (auto &[k, old] : members_) {
+        if (k == key) {
+            old = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::kObject)
+        return nullptr;
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::kArray)
+        return elems_.size();
+    if (type_ == Type::kObject)
+        return members_.size();
+    return 0;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    panicIfNot(type_ == Type::kArray && i < elems_.size(),
+               "Json::at out of range");
+    return elems_[i];
+}
+
+namespace
+{
+
+void
+escapeTo(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad =
+        indent > 0 ? std::string(std::size_t(indent) * (depth + 1), ' ')
+                   : std::string();
+    const std::string close_pad =
+        indent > 0 ? std::string(std::size_t(indent) * depth, ' ')
+                   : std::string();
+    const char *nl = indent > 0 ? "\n" : "";
+    const char *colon = indent > 0 ? ": " : ":";
+
+    switch (type_) {
+      case Type::kNull:
+        out += "null";
+        break;
+      case Type::kBool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::kNumber:
+        out += str_;
+        break;
+      case Type::kString:
+        escapeTo(out, str_);
+        break;
+      case Type::kArray:
+        if (elems_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < elems_.size(); ++i) {
+            out += pad;
+            elems_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < elems_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += ']';
+        break;
+      case Type::kObject:
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            out += pad;
+            escapeTo(out, members_[i].first);
+            out += colon;
+            members_[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < members_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    const char *begin;
+    std::string err;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty()) {
+            err = what + " at offset " + std::to_string(p - begin);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end &&
+               (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+            ++p;
+    }
+
+    bool
+    literal(const char *text)
+    {
+        const std::size_t n = std::strlen(text);
+        if (std::size_t(end - p) < n || std::strncmp(p, text, n) != 0)
+            return fail(std::string("expected '") + text + "'");
+        p += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                if (p + 1 >= end)
+                    return fail("bad escape");
+                ++p;
+                switch (*p) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (p + 4 >= end)
+                        return fail("bad \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 1; i <= 4; ++i) {
+                        const char c = p[i];
+                        cp <<= 4;
+                        if (c >= '0' && c <= '9')
+                            cp |= unsigned(c - '0');
+                        else if (c >= 'a' && c <= 'f')
+                            cp |= unsigned(c - 'a' + 10);
+                        else if (c >= 'A' && c <= 'F')
+                            cp |= unsigned(c - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    p += 4;
+                    // Encode the code point as UTF-8 (no surrogate
+                    // pairing: exported documents never need it).
+                    if (cp < 0x80) {
+                        out += char(cp);
+                    } else if (cp < 0x800) {
+                        out += char(0xc0 | (cp >> 6));
+                        out += char(0x80 | (cp & 0x3f));
+                    } else {
+                        out += char(0xe0 | (cp >> 12));
+                        out += char(0x80 | ((cp >> 6) & 0x3f));
+                        out += char(0x80 | (cp & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("bad escape");
+                }
+                ++p;
+            } else if (static_cast<unsigned char>(*p) < 0x20) {
+                return fail("raw control character in string");
+            } else {
+                out += *p++;
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(Json &out, int depth)
+    {
+        if (depth > 64)
+            return fail("nesting too deep");
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case '{': {
+            ++p;
+            out = Json::object();
+            skipWs();
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (p >= end || *p != ':')
+                    return fail("expected ':'");
+                ++p;
+                Json v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.set(std::move(key), std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == '}') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            ++p;
+            out = Json::array();
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            for (;;) {
+                Json v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.push(std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == ']') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+          }
+          case 't':
+            if (!literal("true"))
+                return false;
+            out = Json(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return false;
+            out = Json(false);
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return false;
+            out = Json();
+            return true;
+          default: {
+            const char *start = p;
+            if (p < end && (*p == '-' || *p == '+'))
+                ++p;
+            bool digits = false;
+            while (p < end &&
+                   (std::isdigit(static_cast<unsigned char>(*p)) ||
+                    *p == '.' || *p == 'e' || *p == 'E' || *p == '-' ||
+                    *p == '+')) {
+                digits = digits ||
+                         std::isdigit(static_cast<unsigned char>(*p));
+                ++p;
+            }
+            if (!digits)
+                return fail("unexpected character");
+            const std::string lex(start, p);
+            const double v = std::strtod(lex.c_str(), nullptr);
+            // Non-negative integer lexemes are re-read as uint64 so
+            // tick counts round-trip exactly even beyond 2^53.
+            if (lex.find('.') == std::string::npos &&
+                lex.find('e') == std::string::npos &&
+                lex.find('E') == std::string::npos && lex[0] != '-') {
+                out = Json(std::uint64_t(
+                    std::strtoull(lex.c_str(), nullptr, 10)));
+            } else {
+                out = Json(v);
+            }
+            return true;
+          }
+        }
+    }
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *err)
+{
+    Parser parser{text.data(), text.data() + text.size(), text.data(),
+                  {}};
+    Json out;
+    if (!parser.parseValue(out, 0)) {
+        if (err)
+            *err = parser.err;
+        return Json();
+    }
+    parser.skipWs();
+    if (parser.p != parser.end) {
+        parser.fail("trailing garbage");
+        if (err)
+            *err = parser.err;
+        return Json();
+    }
+    if (err)
+        err->clear();
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// RunResult / SocConfig serialization
+// ---------------------------------------------------------------------
+
+// Scalar RunResult fields in struct declaration order, shared between
+// the JSON and CSV emitters so the two formats cannot drift apart.
+#define GVC_RUNRESULT_U64_FIELDS(X)                                     \
+    X(exec_ticks)                                                       \
+    X(instructions)                                                     \
+    X(mem_instructions)                                                 \
+    X(tlb_accesses)                                                     \
+    X(tlb_misses)                                                       \
+    X(iommu_accesses)                                                   \
+    X(page_walks)                                                       \
+    X(l1_accesses)                                                      \
+    X(l2_accesses)                                                      \
+    X(dram_accesses)                                                    \
+    X(dram_bytes)                                                       \
+    X(fbt_lookups)                                                      \
+    X(synonym_replays)                                                  \
+    X(rw_faults)                                                        \
+    X(fbt_purges)                                                       \
+    X(fbt_valid_pages)
+
+#define GVC_RUNRESULT_F64_FIELDS(X)                                     \
+    X(lines_per_mem_inst)                                               \
+    X(tlb_miss_ratio)                                                   \
+    X(iommu_apc_mean)                                                   \
+    X(iommu_apc_stdev)                                                  \
+    X(iommu_apc_max)                                                    \
+    X(iommu_frac_windows_over_1)                                        \
+    X(iommu_serialization_mean)                                         \
+    X(fbt_second_level_hit_ratio)                                       \
+    X(l1_hit_ratio)                                                     \
+    X(l2_hit_ratio)
+
+#define GVC_RUNRESULT_BREAKDOWN_FIELDS(X)                               \
+    X(miss_l1_hit)                                                      \
+    X(miss_l2_hit)                                                      \
+    X(miss_l2_miss)
+
+Json
+socConfigToJson(const SocConfig &soc)
+{
+    Json gpu = Json::object();
+    gpu.set("num_cus", soc.gpu.num_cus);
+    gpu.set("max_resident_warps", soc.gpu.max_resident_warps);
+    gpu.set("scratchpad_latency", soc.gpu.scratchpad_latency);
+    gpu.set("max_outstanding_stores", soc.gpu.max_outstanding_stores);
+    gpu.set("sched", unsigned(soc.gpu.sched));
+
+    Json ptw = Json::object();
+    ptw.set("max_concurrent", soc.iommu.ptw.max_concurrent);
+    ptw.set("pwc_hit_latency", soc.iommu.ptw.pwc_hit_latency);
+    ptw.set("dispatch_latency", soc.iommu.ptw.dispatch_latency);
+
+    Json iommu = Json::object();
+    iommu.set("tlb_entries", soc.iommu.tlb_entries);
+    iommu.set("tlb_assoc", soc.iommu.tlb_assoc);
+    iommu.set("tlb_infinite", soc.iommu.tlb_infinite);
+    iommu.set("accesses_per_cycle", soc.iommu.accesses_per_cycle);
+    iommu.set("unlimited_bw", soc.iommu.unlimited_bw);
+    iommu.set("banks", soc.iommu.banks);
+    iommu.set("bank_select_shift", soc.iommu.bank_select_shift);
+    iommu.set("tlb_latency", soc.iommu.tlb_latency);
+    iommu.set("second_level_latency", soc.iommu.second_level_latency);
+    iommu.set("fault_latency", soc.iommu.fault_latency);
+    iommu.set("ptw", std::move(ptw));
+    iommu.set("sample_window", soc.iommu.sample_window);
+
+    Json fbt = Json::object();
+    fbt.set("entries", soc.fbt.entries);
+    fbt.set("bt_assoc", soc.fbt.bt_assoc);
+    fbt.set("ft_assoc", soc.fbt.ft_assoc);
+    fbt.set("split_large_pages", soc.fbt.split_large_pages);
+
+    Json dram = Json::object();
+    dram.set("access_latency", soc.dram.access_latency);
+    dram.set("bytes_per_cycle", soc.dram.bytes_per_cycle);
+
+    Json j = Json::object();
+    j.set("gpu", std::move(gpu));
+    j.set("l1_size", soc.l1_size);
+    j.set("l1_assoc", soc.l1_assoc);
+    j.set("l2_size", soc.l2_size);
+    j.set("l2_assoc", soc.l2_assoc);
+    j.set("l2_banks", soc.l2_banks);
+    j.set("l1_latency", soc.l1_latency);
+    j.set("cu_to_l2", soc.cu_to_l2);
+    j.set("l2_latency", soc.l2_latency);
+    j.set("l2_to_dir", soc.l2_to_dir);
+    j.set("dir_latency", soc.dir_latency);
+    j.set("cu_to_iommu", soc.cu_to_iommu);
+    j.set("l2_to_iommu", soc.l2_to_iommu);
+    j.set("fbt_latency", soc.fbt_latency);
+    j.set("percu_tlb_latency", soc.percu_tlb_latency);
+    j.set("percu_tlb_entries", soc.percu_tlb_entries);
+    j.set("percu_tlb_assoc", soc.percu_tlb_assoc);
+    j.set("percu_tlb_infinite", soc.percu_tlb_infinite);
+    j.set("iommu", std::move(iommu));
+    j.set("fbt", std::move(fbt));
+    j.set("fbt_as_second_level_tlb", soc.fbt_as_second_level_tlb);
+    j.set("synonym_remap_entries", soc.synonym_remap_entries);
+    j.set("cu_injection_rate", soc.cu_injection_rate);
+    j.set("dram", std::move(dram));
+    j.set("phys_mem_bytes", soc.phys_mem_bytes);
+    j.set("track_lifetimes", soc.track_lifetimes);
+    j.set("classify_tlb_misses", soc.classify_tlb_misses);
+    return j;
+}
+
+Json
+workloadParamsToJson(const WorkloadParams &p)
+{
+    Json j = Json::object();
+    j.set("scale", p.scale);
+    j.set("seed", p.seed);
+    j.set("grid_warps", p.grid_warps);
+    j.set("graph", unsigned(p.graph));
+    return j;
+}
+
+Json
+runResultToJson(const RunResult &r, const SocConfig *soc)
+{
+    Json j = Json::object();
+    j.set("workload", r.workload);
+    j.set("design", designName(r.design));
+#define X(field) j.set(#field, std::uint64_t(r.field));
+    GVC_RUNRESULT_U64_FIELDS(X)
+#undef X
+#define X(field) j.set(#field, r.field);
+    GVC_RUNRESULT_F64_FIELDS(X)
+#undef X
+    Json bd = Json::object();
+#define X(field) bd.set(#field, r.tlb_breakdown.field);
+    GVC_RUNRESULT_BREAKDOWN_FIELDS(X)
+#undef X
+    j.set("tlb_breakdown", std::move(bd));
+    if (soc)
+        j.set("soc", socConfigToJson(*soc));
+    return j;
+}
+
+Json
+resultsToJson(const ExportMeta &meta,
+              const std::vector<ResultRecord> &records)
+{
+    Json grid = Json::object();
+    Json workloads = Json::array();
+    for (const auto &w : meta.workloads)
+        workloads.push(Json(w));
+    Json designs = Json::array();
+    for (const auto &d : meta.designs)
+        designs.push(Json(d));
+    grid.set("workloads", std::move(workloads));
+    grid.set("designs", std::move(designs));
+    grid.set("scale", meta.scale);
+    grid.set("seed", meta.seed);
+    grid.set("jobs", meta.jobs);
+
+    Json results = Json::array();
+    for (const auto &rec : records) {
+        const SocConfig effective =
+            rec.cfg.raw_soc ? rec.cfg.soc
+                            : configFor(rec.cfg.design, rec.cfg.soc);
+        Json one = runResultToJson(rec.result, &effective);
+        one.set("workload_params",
+                workloadParamsToJson(rec.cfg.workload));
+        results.push(std::move(one));
+    }
+
+    Json doc = Json::object();
+    doc.set("schema_version", kResultsSchemaVersion);
+    doc.set("generator", meta.generator);
+    doc.set("grid", std::move(grid));
+    doc.set("results", std::move(results));
+    return doc;
+}
+
+std::string
+resultsCsvHeader()
+{
+    std::string h = "workload,design";
+#define X(field) h += "," #field;
+    GVC_RUNRESULT_U64_FIELDS(X)
+    GVC_RUNRESULT_F64_FIELDS(X)
+#undef X
+#define X(field) h += ",tlb_breakdown." #field;
+    GVC_RUNRESULT_BREAKDOWN_FIELDS(X)
+#undef X
+    return h;
+}
+
+std::string
+resultsCsvRow(const RunResult &r)
+{
+    // Design names contain spaces but no commas/quotes, so plain
+    // unquoted CSV cells are sufficient.
+    std::string row = r.workload;
+    row += ',';
+    row += designName(r.design);
+    char buf[40];
+#define X(field)                                                        \
+    std::snprintf(buf, sizeof(buf), ",%llu",                            \
+                  (unsigned long long)(r.field));                       \
+    row += buf;
+    GVC_RUNRESULT_U64_FIELDS(X)
+#undef X
+#define X(field)                                                        \
+    row += ',';                                                         \
+    row += doubleLexeme(r.field);
+    GVC_RUNRESULT_F64_FIELDS(X)
+#undef X
+#define X(field)                                                        \
+    std::snprintf(buf, sizeof(buf), ",%llu",                            \
+                  (unsigned long long)(r.tlb_breakdown.field));         \
+    row += buf;
+    GVC_RUNRESULT_BREAKDOWN_FIELDS(X)
+#undef X
+    return row;
+}
+
+std::string
+resultsToCsv(const std::vector<ResultRecord> &records)
+{
+    std::string out = resultsCsvHeader();
+    out += '\n';
+    for (const auto &rec : records) {
+        out += resultsCsvRow(rec.result);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace gvc

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Structured results export: versioned JSON and CSV serialization of
+ * sweep results (RunResult grids plus the SocConfig and WorkloadParams
+ * that produced them), with no external dependencies.
+ *
+ * The JSON layer is a small ordered value tree (`Json`) with a writer
+ * and a strict recursive-descent parser, so tools can both emit results
+ * and read them back (round-trip tested).  Integers are preserved
+ * losslessly: a Json number keeps its exact lexeme, so a 64-bit tick
+ * count survives write -> parse -> write byte-identically.
+ *
+ * Schema (version 1):
+ *   {
+ *     "schema_version": 1,
+ *     "generator": "<tool name>",
+ *     "grid": { "workloads": [...], "designs": [...],
+ *               "scale": F, "seed": N, "jobs": N },
+ *     "results": [ { "workload": "...", "design": "...",
+ *                    "exec_ticks": N, ... , "soc": {...} }, ... ]
+ *   }
+ */
+
+#ifndef GVC_HARNESS_RESULTS_IO_HH
+#define GVC_HARNESS_RESULTS_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace gvc
+{
+
+/**
+ * An ordered JSON value: null, bool, number, string, array, or object.
+ * Object keys keep insertion order so emitted documents are stable.
+ */
+class Json
+{
+  public:
+    enum class Type {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Json() = default;
+    Json(bool b) : type_(Type::kBool), bool_(b) {}
+    Json(double v);
+    Json(std::uint64_t v);
+    Json(int v) : Json(double(v)) {}
+    Json(unsigned v) : Json(std::uint64_t(v)) {}
+    Json(const char *s) : type_(Type::kString), str_(s) {}
+    Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+    static Json array() { Json j; j.type_ = Type::kArray; return j; }
+    static Json object() { Json j; j.type_ = Type::kObject; return j; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::kNull; }
+    bool isNumber() const { return type_ == Type::kNumber; }
+    bool isString() const { return type_ == Type::kString; }
+    bool isArray() const { return type_ == Type::kArray; }
+    bool isObject() const { return type_ == Type::kObject; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return num_; }
+    /** Exact for any uint64 written through Json: reparses the lexeme. */
+    std::uint64_t asU64() const;
+    const std::string &asString() const { return str_; }
+
+    /** Append to an array. */
+    void push(Json v);
+    /** Insert/overwrite an object member (insertion-ordered). */
+    void set(std::string key, Json v);
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Json *find(const std::string &key) const;
+    /** Array element / object member count. */
+    std::size_t size() const;
+    /** Array element access (kArray only). */
+    const Json &at(std::size_t i) const;
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return members_;
+    }
+
+    /** Serialize; @p indent > 0 pretty-prints with that step. */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Strict JSON parse of @p text.  On failure returns null and, when
+     * @p err is non-null, stores a message with the failing offset.
+     */
+    static Json parse(const std::string &text, std::string *err = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;    ///< String payload, or number lexeme.
+    std::vector<Json> elems_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+/** One (config, result) pair of a sweep, ready for export. */
+struct ResultRecord
+{
+    RunConfig cfg;
+    RunResult result;
+};
+
+/** Metadata describing the exporting run (the "grid" JSON object). */
+struct ExportMeta
+{
+    std::string generator = "gvc_sweep";
+    std::vector<std::string> workloads;
+    std::vector<std::string> designs;
+    double scale = 0.0;
+    std::uint64_t seed = 0;
+    unsigned jobs = 1;
+};
+
+/** Schema version stamped into every exported document. */
+inline constexpr int kResultsSchemaVersion = 1;
+
+/** Serialize a full SocConfig (every simulation-relevant field). */
+Json socConfigToJson(const SocConfig &soc);
+
+/** Serialize WorkloadParams. */
+Json workloadParamsToJson(const WorkloadParams &p);
+
+/**
+ * Serialize one RunResult; when @p soc is non-null the effective
+ * SocConfig is embedded under "soc".
+ */
+Json runResultToJson(const RunResult &r, const SocConfig *soc = nullptr);
+
+/** Full versioned results document. */
+Json resultsToJson(const ExportMeta &meta,
+                   const std::vector<ResultRecord> &records);
+
+/** CSV column header matching csvRow(). */
+std::string resultsCsvHeader();
+
+/** One CSV data row (scalar RunResult fields only). */
+std::string resultsCsvRow(const RunResult &r);
+
+/** Whole CSV document: header plus one row per record. */
+std::string resultsToCsv(const std::vector<ResultRecord> &records);
+
+} // namespace gvc
+
+#endif // GVC_HARNESS_RESULTS_IO_HH

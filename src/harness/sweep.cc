@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Sweep engine implementation.
+ *
+ * Thread-safety audit of runWorkload() (why concurrent jobs are safe):
+ * every piece of simulation state is constructed per call — SimContext
+ * (event queue, stat registry, RNG), PhysMem, Vm, the workload
+ * generator, Dram, SystemUnderTest, and Gpu all live on the job's
+ * stack, and no component holds references to anything process-wide.
+ * The only globals a run touches are (a) the debug-trace mask and the
+ * workload name tables, which are function-local `static const` values
+ * (C++11 magic statics: initialization is synchronized, and they are
+ * immutable afterwards), and (b) stderr for warn()/trace output, where
+ * interleaving is cosmetic.  fatal()/panic() terminate the process
+ * from whichever thread hits them, which is the intended behaviour for
+ * an invariant violation mid-sweep.
+ */
+
+#include "harness/sweep.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "harness/thread_pool.hh"
+#include "sim/logging.hh"
+
+namespace gvc
+{
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("GVC_JOBS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return unsigned(n);
+        warn("GVC_JOBS='" + std::string(env) +
+             "' is not a positive integer; ignoring");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::string
+runConfigKey(const std::string &workload, const RunConfig &cfg)
+{
+    const SocConfig effective =
+        cfg.raw_soc ? cfg.soc : configFor(cfg.design, cfg.soc);
+    Json key = Json::object();
+    key.set("workload", workload);
+    key.set("design", unsigned(cfg.design));
+    key.set("params", workloadParamsToJson(cfg.workload));
+    key.set("soc", socConfigToJson(effective));
+    return key.dump();
+}
+
+Sweep::Sweep(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs()),
+      progress_(std::getenv("GVC_SWEEP_QUIET") == nullptr)
+{
+}
+
+std::size_t
+Sweep::add(std::string workload, RunConfig cfg, std::string label)
+{
+    Item item;
+    item.key = runConfigKey(workload, cfg);
+    item.workload = std::move(workload);
+    item.cfg = cfg;
+    item.label = std::move(label);
+    items_.push_back(std::move(item));
+    return items_.size() - 1;
+}
+
+void
+Sweep::addGrid(const std::vector<std::string> &workloads,
+               const std::vector<MmuDesign> &designs,
+               const RunConfig &base)
+{
+    for (const auto &w : workloads) {
+        for (const MmuDesign d : designs) {
+            RunConfig cfg = base;
+            cfg.design = d;
+            add(w, cfg);
+        }
+    }
+}
+
+void
+Sweep::run()
+{
+    // Unique pending keys in first-occurrence (add) order, so the
+    // serial path and job submission order are both deterministic.
+    std::vector<std::size_t> leaders;
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+        Item &item = items_[i];
+        if (item.result)
+            continue;
+        if (auto memo = memo_.find(item.key); memo != memo_.end()) {
+            item.result = memo->second;
+            continue;
+        }
+        bool first = true;
+        for (const std::size_t j : leaders) {
+            if (items_[j].key == item.key) {
+                first = false;
+                break;
+            }
+        }
+        if (first)
+            leaders.push_back(i);
+    }
+
+    if (leaders.empty())
+        return;
+
+    const unsigned workers =
+        unsigned(std::min<std::size_t>(jobs_, leaders.size()));
+    const auto start = std::chrono::steady_clock::now();
+    std::mutex progress_mutex;
+    std::size_t completed = 0;
+
+    auto report = [&](const Item &item) {
+        if (!progress_)
+            return;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        ++completed;
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        std::fprintf(stderr,
+                     "[gvc::sweep] %3zu/%zu %s x %s%s%s (%.1fs)\n",
+                     completed, leaders.size(), item.workload.c_str(),
+                     designName(item.cfg.design),
+                     item.label.empty() ? "" : " ",
+                     item.label.c_str(), secs);
+    };
+
+    if (progress_) {
+        std::fprintf(stderr,
+                     "[gvc::sweep] %zu cells, %zu unique, %u worker%s\n",
+                     items_.size(), leaders.size(), workers,
+                     workers == 1 ? "" : "s");
+    }
+
+    if (workers <= 1) {
+        for (const std::size_t i : leaders) {
+            Item &item = items_[i];
+            item.result = runWorkload(item.workload, item.cfg);
+            report(item);
+        }
+    } else {
+        ThreadPool pool(workers);
+        std::vector<std::future<RunResult>> futures;
+        futures.reserve(leaders.size());
+        for (const std::size_t i : leaders) {
+            const Item &item = items_[i];
+            futures.push_back(pool.submit([&item, &report] {
+                RunResult r = runWorkload(item.workload, item.cfg);
+                report(item);
+                return r;
+            }));
+        }
+        for (std::size_t k = 0; k < leaders.size(); ++k)
+            items_[leaders[k]].result = futures[k].get();
+    }
+
+    unique_runs_ += leaders.size();
+    for (const std::size_t i : leaders)
+        memo_.emplace(items_[i].key, *items_[i].result);
+    // Fan the leader results out to every duplicate cell.
+    for (Item &item : items_) {
+        if (!item.result)
+            item.result = memo_.at(item.key);
+    }
+}
+
+const RunResult &
+Sweep::result(std::size_t idx) const
+{
+    panicIfNot(idx < items_.size(), "Sweep::result: index out of range");
+    if (!items_[idx].result)
+        fatal("Sweep::result: cell " + std::to_string(idx) +
+              " has not been run (call run() first)");
+    return *items_[idx].result;
+}
+
+const RunResult &
+Sweep::result(const std::string &workload, MmuDesign design) const
+{
+    for (const Item &item : items_) {
+        if (item.workload == workload && item.cfg.design == design &&
+            item.result)
+            return *item.result;
+    }
+    fatal("Sweep::result: no completed cell for " + workload + " x " +
+          designName(design));
+}
+
+std::vector<ResultRecord>
+Sweep::records() const
+{
+    std::vector<ResultRecord> out;
+    out.reserve(items_.size());
+    for (const Item &item : items_) {
+        if (!item.result)
+            continue;
+        out.push_back({item.cfg, *item.result});
+    }
+    return out;
+}
+
+} // namespace gvc

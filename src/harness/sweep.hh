@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Parallel experiment orchestration: expand a declarative grid of
+ * (workload, RunConfig) cells into jobs, execute them across worker
+ * threads, and collect RunResults in deterministic grid order.
+ *
+ * Properties the figure benches rely on:
+ *
+ *  - **Determinism.**  Each simulation is a single-seed-deterministic,
+ *    fully self-contained process (see the thread-safety audit in
+ *    sweep.cc), so an N-thread sweep produces bit-identical RunResults
+ *    to a serial one; results are always reported in add() order, never
+ *    completion order.
+ *  - **Memoization.**  Duplicate cells — same workload, design, and
+ *    effective SocConfig/WorkloadParams — are simulated once and the
+ *    result is shared, so e.g. the IDEAL baseline each figure
+ *    normalizes against costs one run per workload regardless of how
+ *    many comparison points reference it.  The memo cache persists
+ *    across run() calls, so benches can add follow-up grids
+ *    incrementally.
+ *  - **Progress.**  Completed-cell progress is reported to stderr
+ *    (stdout stays clean for the figure tables); disable with
+ *    setProgress(false) or GVC_SWEEP_QUIET=1.
+ *
+ * Worker count: explicit constructor argument, else the GVC_JOBS
+ * environment variable, else std::thread::hardware_concurrency().
+ */
+
+#ifndef GVC_HARNESS_SWEEP_HH
+#define GVC_HARNESS_SWEEP_HH
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/results_io.hh"
+#include "harness/runner.hh"
+
+namespace gvc
+{
+
+/**
+ * Worker threads to use by default: GVC_JOBS when set to a positive
+ * integer, otherwise std::thread::hardware_concurrency() (at least 1).
+ */
+unsigned defaultJobs();
+
+/**
+ * Canonical memoization key of one cell: the workload name, design,
+ * WorkloadParams, and *effective* SocConfig (after configFor() unless
+ * raw_soc).  Two cells with equal keys simulate identically.
+ */
+std::string runConfigKey(const std::string &workload,
+                         const RunConfig &cfg);
+
+/** Queue of experiment cells, executed across a thread pool. */
+class Sweep
+{
+  public:
+    /** @param jobs  Worker threads; 0 means defaultJobs(). */
+    explicit Sweep(unsigned jobs = 0);
+
+    /**
+     * Queue one cell; returns its index (stable across run()).
+     * @p label is carried into progress reporting only.
+     */
+    std::size_t add(std::string workload, RunConfig cfg,
+                    std::string label = {});
+
+    /**
+     * Convenience grid expansion: every workload under every design,
+     * row-major (workload-major, design-minor), from @p base.
+     */
+    void addGrid(const std::vector<std::string> &workloads,
+                 const std::vector<MmuDesign> &designs,
+                 const RunConfig &base);
+
+    /** Execute all cells that do not have a result yet. */
+    void run();
+
+    /** Result of cell @p idx (run() must have covered it). */
+    const RunResult &result(std::size_t idx) const;
+
+    /** First result matching (workload, design); fatal when absent. */
+    const RunResult &result(const std::string &workload,
+                            MmuDesign design) const;
+
+    /** All (config, result) pairs in add() order, for export. */
+    std::vector<ResultRecord> records() const;
+
+    std::size_t size() const { return items_.size(); }
+    unsigned jobs() const { return jobs_; }
+    /** Simulations actually executed (after memo deduplication). */
+    std::size_t uniqueRuns() const { return unique_runs_; }
+    void setProgress(bool on) { progress_ = on; }
+
+  private:
+    struct Item
+    {
+        std::string workload;
+        RunConfig cfg;
+        std::string label;
+        std::string key;
+        std::optional<RunResult> result;
+    };
+
+    std::vector<Item> items_;
+    std::unordered_map<std::string, RunResult> memo_;
+    unsigned jobs_;
+    std::size_t unique_runs_ = 0;
+    bool progress_;
+};
+
+} // namespace gvc
+
+#endif // GVC_HARNESS_SWEEP_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fixed-size worker pool with a shared FIFO job queue, used by the
+ * sweep engine to run independent simulations concurrently.
+ *
+ * Jobs are arbitrary callables; submit() returns a std::future so
+ * callers collect results (and exceptions — a throwing job surfaces at
+ * future::get(), never in the worker) in whatever order they choose.
+ * The queue is deliberately simple: simulation jobs run for seconds, so
+ * per-job locking overhead is irrelevant and work stealing buys
+ * nothing.  Destruction drains nothing — it stops accepting work and
+ * joins after the queue empties, so every submitted job runs exactly
+ * once.
+ */
+
+#ifndef GVC_HARNESS_THREAD_POOL_HH
+#define GVC_HARNESS_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gvc
+{
+
+/** FIFO thread pool; @p threads is clamped to at least one worker. */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(unsigned threads)
+    {
+        if (threads == 0)
+            threads = 1;
+        workers_.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    unsigned size() const { return unsigned(workers_.size()); }
+
+    /**
+     * Queue @p fn for execution; the returned future carries its result
+     * or exception.  Jobs run in submission order (FIFO) across the
+     * workers.
+     */
+    template <class Fn>
+    std::future<std::invoke_result_t<Fn>>
+    submit(Fn &&fn)
+    {
+        using R = std::invoke_result_t<Fn>;
+        // packaged_task is move-only but std::function requires
+        // copyable targets; hold it by shared_ptr.
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return result;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty())
+                    return; // stopping_ and nothing left to run.
+                job = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            job(); // Exceptions land in the job's promise, not here.
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace gvc
+
+#endif // GVC_HARNESS_THREAD_POOL_HH

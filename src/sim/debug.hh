@@ -45,7 +45,15 @@ inline const char *const kFlagNames[] = {
     "directory",
 };
 
-/** Enabled mask parsed from GVC_DEBUG (lazily, once). */
+/**
+ * Enabled mask parsed from GVC_DEBUG (lazily, once).
+ *
+ * Thread safety (sweep engine): this is the one piece of process-wide
+ * state the simulation core reads.  It is a C++11 magic static —
+ * initialization is synchronized by the runtime and the value is
+ * immutable afterwards — so concurrent runWorkload() jobs may call it
+ * freely.  Keep it `static const`; a mutable mask would need a lock.
+ */
 inline unsigned
 enabledMask()
 {

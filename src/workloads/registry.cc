@@ -8,6 +8,11 @@
 namespace gvc
 {
 
+// The name tables below are function-local `static const` values: C++11
+// magic statics give them race-free one-time construction, and they are
+// never mutated afterwards, so the sweep engine's worker threads can
+// call these accessors concurrently (audited for harness/sweep.cc).
+
 const std::vector<std::string> &
 allWorkloadNames()
 {

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * gvc_sweep — parallel design-space sweep driver: run a (workload x
+ * design) grid across worker threads and export the results as
+ * versioned JSON and/or CSV (see harness/results_io.hh for the schema).
+ *
+ *   gvc_sweep --workloads bfs,pagerank --designs baseline512,vc_opt \
+ *             --jobs 4 --json out.json
+ *   gvc_sweep --workloads all --designs all --csv grid.csv
+ *   gvc_sweep -w high-bw -d vc_opt,ideal --scale 0.25 --json -
+ *
+ * Design names accept both the gvc_run spelling (vc-opt) and
+ * underscore/concatenated forms (vc_opt, baseline512).
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hh"
+#include "harness/table.hh"
+
+using namespace gvc;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> workloads;
+    std::vector<MmuDesign> designs;
+    std::vector<std::string> design_labels;
+    RunConfig base;
+    unsigned jobs = 0; ///< 0 = defaultJobs().
+    std::string json_path;
+    std::string csv_path;
+    bool quiet = false;
+    bool print_table = true;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: gvc_sweep [options]\n"
+        "  -w, --workloads LIST    comma-separated workloads, or\n"
+        "                          'all' / 'high-bw' (default: all)\n"
+        "  -d, --designs LIST      comma-separated designs, or 'all'\n"
+        "                          (default: ideal,baseline512,vc_opt)\n"
+        "      --scale F           workload scale factor (default 0.5)\n"
+        "      --seed N            workload RNG seed\n"
+        "  -j, --jobs N            worker threads (default: GVC_JOBS or\n"
+        "                          hardware concurrency)\n"
+        "      --json PATH         write JSON results ('-' = stdout)\n"
+        "      --csv PATH          write CSV results ('-' = stdout)\n"
+        "      --iommu-bw F        shared TLB accesses/cycle override\n"
+        "      --iommu-tlb N       shared TLB entries (raw mode)\n"
+        "      --percu-tlb N       per-CU TLB entries (raw mode)\n"
+        "      --fbt-entries N     FBT entries (raw mode)\n"
+        "      --cus N             number of compute units\n"
+        "      --no-table          skip the summary table on stdout\n"
+        "  -q, --quiet             no progress output on stderr\n"
+        "      --list              list workloads and designs, exit\n"
+        "      --help              this text\n");
+    std::exit(code);
+}
+
+/** Canonical design spelling: lowercase with '-'/'_' removed. */
+std::string
+canonDesign(const std::string &name)
+{
+    std::string out;
+    for (const char c : name) {
+        if (c == '-' || c == '_')
+            continue;
+        out += char(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+}
+
+const std::vector<std::pair<const char *, MmuDesign>> &
+designSpellings()
+{
+    static const std::vector<std::pair<const char *, MmuDesign>> map = {
+        {"ideal", MmuDesign::kIdeal},
+        {"baseline512", MmuDesign::kBaseline512},
+        {"baseline16k", MmuDesign::kBaseline16K},
+        {"baselinelargetlb", MmuDesign::kBaselineLargeTlb},
+        {"vc", MmuDesign::kVcNoOpt},
+        {"vcnoopt", MmuDesign::kVcNoOpt},
+        {"vcopt", MmuDesign::kVcOpt},
+        {"l1vc32", MmuDesign::kL1Vc32},
+        {"l1vc128", MmuDesign::kL1Vc128},
+    };
+    return map;
+}
+
+MmuDesign
+parseDesign(const std::string &name)
+{
+    const std::string canon = canonDesign(name);
+    for (const auto &[spelling, design] : designSpellings())
+        if (canon == spelling)
+            return design;
+    fatal("unknown design '" + name + "' (try --list)");
+}
+
+std::vector<std::string>
+splitList(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    opt.base.workload.scale = 0.5;
+    std::string workloads_spec = "all";
+    std::string designs_spec = "ideal,baseline512,vc_opt";
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(1);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage(0);
+        } else if (a == "--list") {
+            std::printf("workloads:\n");
+            for (const auto &n : allWorkloadNames())
+                std::printf("  %s\n", n.c_str());
+            for (const auto &n : extraWorkloadNames())
+                std::printf("  %s (extra)\n", n.c_str());
+            std::printf("designs:\n");
+            for (const auto &[spelling, design] : designSpellings())
+                std::printf("  %-18s %s\n", spelling,
+                            designName(design));
+            std::exit(0);
+        } else if (a == "-w" || a == "--workloads") {
+            workloads_spec = need(i);
+        } else if (a == "-d" || a == "--designs") {
+            designs_spec = need(i);
+        } else if (a == "--scale") {
+            opt.base.workload.scale = std::atof(need(i));
+        } else if (a == "--seed") {
+            opt.base.workload.seed =
+                std::strtoull(need(i), nullptr, 10);
+        } else if (a == "-j" || a == "--jobs") {
+            opt.jobs = unsigned(std::atoi(need(i)));
+        } else if (a == "--json") {
+            opt.json_path = need(i);
+        } else if (a == "--csv") {
+            opt.csv_path = need(i);
+        } else if (a == "--iommu-bw") {
+            opt.base.soc.iommu.accesses_per_cycle =
+                std::atof(need(i));
+        } else if (a == "--iommu-tlb") {
+            opt.base.soc.iommu.tlb_entries =
+                unsigned(std::atoi(need(i)));
+            opt.base.raw_soc = true;
+        } else if (a == "--percu-tlb") {
+            opt.base.soc.percu_tlb_entries =
+                unsigned(std::atoi(need(i)));
+            opt.base.raw_soc = true;
+        } else if (a == "--fbt-entries") {
+            opt.base.soc.fbt.entries = unsigned(std::atoi(need(i)));
+            opt.base.raw_soc = true;
+        } else if (a == "--cus") {
+            opt.base.soc.gpu.num_cus = unsigned(std::atoi(need(i)));
+        } else if (a == "--no-table") {
+            opt.print_table = false;
+        } else if (a == "-q" || a == "--quiet") {
+            opt.quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(1);
+        }
+    }
+
+    if (workloads_spec == "all")
+        opt.workloads = allWorkloadNames();
+    else if (workloads_spec == "high-bw")
+        opt.workloads = highBandwidthWorkloadNames();
+    else
+        opt.workloads = splitList(workloads_spec);
+    if (opt.workloads.empty())
+        fatal("no workloads selected");
+
+    std::vector<std::string> design_names;
+    if (designs_spec == "all") {
+        design_names = {"ideal",   "baseline512", "baseline16k",
+                        "baseline_large_tlb", "vc", "vc_opt",
+                        "l1vc32",  "l1vc128"};
+    } else {
+        design_names = splitList(designs_spec);
+    }
+    for (const auto &name : design_names) {
+        opt.designs.push_back(parseDesign(name));
+        opt.design_labels.push_back(name);
+    }
+    if (opt.designs.empty())
+        fatal("no designs selected");
+    return opt;
+}
+
+void
+writeOut(const std::string &path, const std::string &content,
+         const char *what)
+{
+    if (path == "-") {
+        std::fwrite(content.data(), 1, content.size(), stdout);
+        return;
+    }
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal(std::string("cannot open ") + what + " output file '" +
+              path + "'");
+    os << content;
+    if (!os)
+        fatal(std::string("failed writing ") + what + " to '" + path +
+              "'");
+    std::fprintf(stderr, "[gvc_sweep] wrote %s (%zu bytes)\n",
+                 path.c_str(), content.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+
+    Sweep sweep(opt.jobs);
+    if (opt.quiet)
+        sweep.setProgress(false);
+    sweep.addGrid(opt.workloads, opt.designs, opt.base);
+    sweep.run();
+
+    if (opt.print_table) {
+        TextTable table({"workload", "design", "exec cycles",
+                         "IOMMU acc", "page walks", "L2 hit"});
+        for (std::size_t i = 0; i < sweep.size(); ++i) {
+            const RunResult &r = sweep.result(i);
+            table.addRow({r.workload, designName(r.design),
+                          std::to_string(r.exec_ticks),
+                          std::to_string(r.iommu_accesses),
+                          std::to_string(r.page_walks),
+                          TextTable::pct(r.l2_hit_ratio, 1)});
+        }
+        table.print();
+        std::printf("\n%zu cells, %zu simulated (%zu memoized), %u "
+                    "worker threads\n",
+                    sweep.size(), sweep.uniqueRuns(),
+                    sweep.size() - sweep.uniqueRuns(), sweep.jobs());
+    }
+
+    if (!opt.json_path.empty() || !opt.csv_path.empty()) {
+        const std::vector<ResultRecord> records = sweep.records();
+        if (!opt.json_path.empty()) {
+            ExportMeta meta;
+            meta.workloads = opt.workloads;
+            meta.designs = opt.design_labels;
+            meta.scale = opt.base.workload.scale;
+            meta.seed = opt.base.workload.seed;
+            meta.jobs = sweep.jobs();
+            writeOut(opt.json_path,
+                     resultsToJson(meta, records).dump(2) + "\n",
+                     "JSON");
+        }
+        if (!opt.csv_path.empty())
+            writeOut(opt.csv_path, resultsToCsv(records), "CSV");
+    }
+    return 0;
+}
