@@ -6,10 +6,17 @@
  * against it" pattern, built on the parallel sweep engine so figure
  * grids execute across all cores (override with GVC_JOBS).
  *
- *   GVC_SCALE      workload scale factor (default 0.5)
- *   GVC_WORKLOADS  comma-separated subset of workload names
- *   GVC_SEED       workload RNG seed
- *   GVC_JOBS       sweep worker threads (default: hardware cores)
+ *   GVC_SCALE       workload scale factor (default 0.5)
+ *   GVC_WORKLOADS   comma-separated subset of workload names
+ *   GVC_SEED        workload RNG seed
+ *   GVC_JOBS        sweep worker threads (default: hardware cores)
+ *   GVC_SWEEP_LIVE  set to disable the sweep's capture-once/replay
+ *                   optimization and regenerate each workload per cell
+ *
+ * The sweep engine underneath captures every distinct (workload,
+ * params) source as an in-memory trace once and replays it for each
+ * design column (bit-identical to live generation), so a figure grid
+ * pays workload generation once per row, not once per cell.
  */
 
 #ifndef GVC_BENCH_BENCH_COMMON_HH

@@ -12,6 +12,7 @@
 #include "cache/mshr.hh"
 #include "core/fbt.hh"
 #include "gpu/coalescer.hh"
+#include "gpu/warp_inst.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "tlb/tlb.hh"
@@ -143,6 +144,61 @@ BM_CoalescerDivergent(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * kWarpLanes);
 }
 BENCHMARK(BM_CoalescerDivergent)->Arg(1024)->Arg(1 << 22);
+
+/**
+ * Warp-stream drain cost, as the CU issue loop pays it.  The "Reused"
+ * variant is the shipping code path: one WarpInst lives across next()
+ * calls and VectorWarpStream assigns lane addresses into its retained
+ * capacity, so steady state does zero allocations.  The "Fresh" variant
+ * reconstructs the WarpInst every iteration — the pre-refactor
+ * behaviour (a fresh lane_addrs vector per instruction), kept as the
+ * baseline that shows what the churn fix buys.
+ */
+std::vector<WarpInst>
+divergentInsts(std::size_t n)
+{
+    Rng rng(9);
+    std::vector<WarpInst> insts;
+    insts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<Vaddr> lanes(kWarpLanes);
+        for (auto &va : lanes)
+            va = rng.below(1 << 22) * 4;
+        insts.push_back(WarpInst::load(std::move(lanes)));
+    }
+    return insts;
+}
+
+void
+BM_WarpStreamDrainReusedBuffer(benchmark::State &state)
+{
+    const auto insts = divergentInsts(256);
+    WarpInst out; // allocated once, capacity retained across next()
+    for (auto _ : state) {
+        VectorWarpStream stream(insts);
+        while (stream.next(out))
+            benchmark::DoNotOptimize(out.lane_addrs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_WarpStreamDrainReusedBuffer);
+
+void
+BM_WarpStreamDrainFreshBuffer(benchmark::State &state)
+{
+    const auto insts = divergentInsts(256);
+    for (auto _ : state) {
+        VectorWarpStream stream(insts);
+        for (;;) {
+            WarpInst out; // fresh vector per instruction (old behaviour)
+            if (!stream.next(out))
+                break;
+            benchmark::DoNotOptimize(out.lane_addrs.data());
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_WarpStreamDrainFreshBuffer);
 
 void
 BM_MshrAllocateComplete(benchmark::State &state)

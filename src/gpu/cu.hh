@@ -254,7 +254,10 @@ class ComputeUnit
     void
     issue(Slot &s)
     {
-        WarpInst inst;
+        // Reused across issues: WarpStream::next assigns into the
+        // buffer, so lane_addrs' capacity is allocated once per CU
+        // instead of once per instruction.
+        WarpInst &inst = inst_buf_;
         if (!s.stream->next(inst)) {
             beginDrain(s);
             return;
@@ -407,6 +410,7 @@ class ComputeUnit
     Tick last_issue_ = 0;
     std::function<void()> on_done_;
 
+    WarpInst inst_buf_; ///< Issue-loop scratch; see issue().
     Coalescer coalescer_;
     Counter issued_;
     Counter mem_insts_;

@@ -51,6 +51,14 @@ class Gpu
         if (cus_running_ != 0)
             fatal("Gpu::launch: a kernel is already running");
         ++kernels_launched_;
+        if (kernel.warps.empty()) {
+            // A zero-warp kernel has nothing to execute; complete it
+            // synchronously instead of spinning the CUs through their
+            // wake/drain machinery (which would also advance the clock).
+            if (on_done)
+                on_done();
+            return;
+        }
         on_kernel_done_ = std::move(on_done);
         for (std::size_t i = 0; i < kernel.warps.size(); ++i) {
             cus_[i % cus_.size()]->enqueueWarp(

@@ -101,8 +101,26 @@ class WarpStream
   public:
     virtual ~WarpStream() = default;
 
-    /** Produce the next instruction; false at end of stream. */
+    /**
+     * Produce the next instruction; false at end of stream.
+     *
+     * Implementations fill @p out in place via assignInto() so a caller
+     * that reuses one WarpInst across calls pays no per-instruction
+     * allocation once `out.lane_addrs` has warmed up to kWarpLanes
+     * capacity (the CU issue loop does exactly this).
+     */
     virtual bool next(WarpInst &out) = 0;
+
+  protected:
+    /** Copy @p src into @p out, reusing out.lane_addrs' capacity. */
+    static void
+    assignInto(WarpInst &out, const WarpInst &src)
+    {
+        out.op = src.op;
+        out.cycles = src.cycles;
+        out.lane_addrs.assign(src.lane_addrs.begin(),
+                              src.lane_addrs.end());
+    }
 };
 
 /** A WarpStream over a pre-built instruction vector (tests, replay). */
@@ -119,7 +137,7 @@ class VectorWarpStream final : public WarpStream
     {
         if (pos_ >= insts_.size())
             return false;
-        out = insts_[pos_++];
+        assignInto(out, insts_[pos_++]);
         return true;
     }
 

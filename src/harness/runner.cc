@@ -1,5 +1,8 @@
 #include "harness/runner.hh"
 
+#include <memory>
+#include <utility>
+
 #include "mem/phys_mem.hh"
 #include "mem/vm.hh"
 
@@ -7,16 +10,25 @@ namespace gvc
 {
 
 RunResult
-runWorkload(const std::string &workload_name, const RunConfig &cfg,
-            const InspectFn &inspect)
+runSource(trace::KernelSource &source, const RunConfig &cfg,
+          const InspectFn &inspect, trace::Trace *capture)
 {
-    SimContext ctx(cfg.workload.seed);
+    // The seed comes from the source so a trace replays with the same
+    // simulation context the live run had.
+    SimContext ctx(source.params().seed);
     PhysMem pm(cfg.soc.phys_mem_bytes);
     Vm vm(pm);
-    const Asid asid = vm.createProcess();
 
-    auto workload = makeWorkload(workload_name, cfg.workload);
-    workload->setup(vm, asid);
+    if (capture) {
+        capture->workload = source.name();
+        capture->params = source.params();
+        vm.recordOps(true);
+    }
+    source.setup(vm);
+    if (capture) {
+        vm.recordOps(false);
+        capture->vm_ops = vm.recordedOps();
+    }
 
     Dram dram(ctx, cfg.soc.dram);
     const SocConfig soc =
@@ -24,12 +36,16 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg,
     SystemUnderTest sut(ctx, soc, vm, dram, cfg.design);
     Gpu gpu(ctx, soc.gpu, sut.memIf());
 
-    for (auto &launch : workload->kernels()) {
+    auto launches = source.kernels();
+    if (capture)
+        trace::wrapForRecording(launches, *capture);
+
+    for (auto &launch : launches) {
         bool done = false;
         gpu.launch(std::move(launch), [&done] { done = true; });
         ctx.eq.run();
         if (!done)
-            panic("runWorkload: kernel failed to drain the event queue");
+            panic("runSource: kernel failed to drain the event queue");
     }
 
     const Tick end = ctx.now();
@@ -38,7 +54,7 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg,
     sut.flushLifetimes();
 
     RunResult r;
-    r.workload = workload_name;
+    r.workload = source.name();
     r.design = cfg.design;
     r.exec_ticks = end;
     r.instructions = gpu.totalInstructions();
@@ -125,6 +141,22 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg,
     if (inspect)
         inspect(sut, gpu, ctx);
     return r;
+}
+
+RunResult
+runWorkload(const std::string &workload_name, const RunConfig &cfg,
+            const InspectFn &inspect, trace::Trace *capture)
+{
+    if (!cfg.trace_in.empty()) {
+        auto t = std::make_shared<trace::Trace>();
+        std::string err;
+        if (!trace::TraceReader::readFile(cfg.trace_in, *t, &err))
+            fatal("runWorkload: " + err);
+        trace::TraceKernelSource source(std::move(t));
+        return runSource(source, cfg, inspect, capture);
+    }
+    trace::WorkloadKernelSource source(workload_name, cfg.workload);
+    return runSource(source, cfg, inspect, capture);
 }
 
 } // namespace gvc

@@ -13,6 +13,7 @@
 
 #include "gpu/gpu.hh"
 #include "mmu/designs.hh"
+#include "trace/kernel_source.hh"
 #include "workloads/registry.hh"
 
 namespace gvc
@@ -30,6 +31,13 @@ struct RunConfig
      * hierarchy structure; all sizes/limits come from `soc`.
      */
     bool raw_soc = false;
+    /**
+     * When non-empty, replay this trace file instead of generating the
+     * named workload: the VM image is reconstructed from the trace's
+     * recorded op log and `workload.seed/scale/...` are taken from the
+     * trace metadata (only `soc`/`design` from this config apply).
+     */
+    std::string trace_in;
 };
 
 /** Scalar results of one run. */
@@ -85,9 +93,24 @@ struct RunResult
 using InspectFn =
     std::function<void(SystemUnderTest &, Gpu &, SimContext &)>;
 
-/** Execute @p workload_name under @p cfg. */
+/**
+ * Execute @p source under @p cfg — the core runner; every entry point
+ * funnels here.  The simulation seed and workload identity come from
+ * the source, so a TraceKernelSource reproduces the live run exactly.
+ * When @p capture is non-null, the run additionally records the VM op
+ * log and every warp stream into it (metadata included).
+ */
+RunResult runSource(trace::KernelSource &source, const RunConfig &cfg,
+                    const InspectFn &inspect = {},
+                    trace::Trace *capture = nullptr);
+
+/**
+ * Execute @p workload_name under @p cfg.  If `cfg.trace_in` is set the
+ * trace file is replayed instead and @p workload_name is ignored.
+ */
 RunResult runWorkload(const std::string &workload_name,
-                      const RunConfig &cfg, const InspectFn &inspect = {});
+                      const RunConfig &cfg, const InspectFn &inspect = {},
+                      trace::Trace *capture = nullptr);
 
 } // namespace gvc
 

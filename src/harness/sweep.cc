@@ -18,6 +18,7 @@
 
 #include "harness/sweep.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -55,12 +56,39 @@ runConfigKey(const std::string &workload, const RunConfig &cfg)
     key.set("design", unsigned(cfg.design));
     key.set("params", workloadParamsToJson(cfg.workload));
     key.set("soc", socConfigToJson(effective));
+    if (!cfg.trace_in.empty())
+        key.set("trace_in", cfg.trace_in);
     return key.dump();
 }
 
+namespace
+{
+
+/** Trace-cache key: the generation inputs (workload + params). */
+std::string
+sourceKeyOf(const std::string &workload, const WorkloadParams &params)
+{
+    Json key = Json::object();
+    key.set("workload", workload);
+    key.set("params", workloadParamsToJson(params));
+    return key.dump();
+}
+
+std::string
+hexDigest(std::uint64_t digest)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buf;
+}
+
+} // namespace
+
 Sweep::Sweep(unsigned jobs)
     : jobs_(jobs ? jobs : defaultJobs()),
-      progress_(std::getenv("GVC_SWEEP_QUIET") == nullptr)
+      progress_(std::getenv("GVC_SWEEP_QUIET") == nullptr),
+      capture_(std::getenv("GVC_SWEEP_LIVE") == nullptr)
 {
 }
 
@@ -91,8 +119,81 @@ Sweep::addGrid(const std::vector<std::string> &workloads,
 }
 
 void
+Sweep::captureSources()
+{
+    // Collect the distinct generation sources pending cells need, in
+    // first-occurrence order for deterministic capture scheduling.
+    std::vector<std::string> missing;
+    for (Item &item : items_) {
+        if (item.result || !item.cfg.trace_in.empty())
+            continue;
+        if (item.source_key.empty())
+            item.source_key = sourceKeyOf(item.workload,
+                                          item.cfg.workload);
+        if (!traces_.count(item.source_key) &&
+            std::find(missing.begin(), missing.end(), item.source_key) ==
+                missing.end()) {
+            missing.push_back(item.source_key);
+        }
+    }
+
+    if (!missing.empty()) {
+        // One generation pass per source; each capture is independent
+        // (fresh PhysMem/Vm/workload per call), so they parallelize.
+        std::vector<CapturedTrace> captured(missing.size());
+        auto job = [this, &missing, &captured](std::size_t i) {
+            const Item *item = nullptr;
+            for (const Item &it : items_) {
+                if (it.source_key == missing[i]) {
+                    item = &it;
+                    break;
+                }
+            }
+            trace::WorkloadKernelSource source(item->workload,
+                                               item->cfg.workload);
+            auto t = std::make_shared<trace::Trace>(trace::captureTrace(
+                source, item->cfg.soc.phys_mem_bytes));
+            captured[i] = {t, trace::traceDigest(*t)};
+        };
+        const unsigned workers =
+            unsigned(std::min<std::size_t>(jobs_, missing.size()));
+        if (workers <= 1) {
+            for (std::size_t i = 0; i < missing.size(); ++i)
+                job(i);
+        } else {
+            ThreadPool pool(workers);
+            std::vector<std::future<void>> futures;
+            futures.reserve(missing.size());
+            for (std::size_t i = 0; i < missing.size(); ++i)
+                futures.push_back(pool.submit([&job, i] { job(i); }));
+            for (auto &f : futures)
+                f.get();
+        }
+        for (std::size_t i = 0; i < missing.size(); ++i)
+            traces_.emplace(missing[i], std::move(captured[i]));
+    }
+
+    // The memo key names the exact streams the cell runs: append the
+    // capture's digest so trace-replayed results never alias live ones.
+    for (Item &item : items_) {
+        if (item.result || item.source_key.empty())
+            continue;
+        const CapturedTrace &ct = traces_.at(item.source_key);
+        const std::string suffix = "#trace:" + hexDigest(ct.digest);
+        if (item.key.size() < suffix.size() ||
+            item.key.compare(item.key.size() - suffix.size(),
+                             suffix.size(), suffix) != 0) {
+            item.key += suffix;
+        }
+    }
+}
+
+void
 Sweep::run()
 {
+    if (capture_)
+        captureSources();
+
     // Unique pending keys in first-occurrence (add) order, so the
     // serial path and job submission order are both deterministic.
     std::vector<std::size_t> leaders;
@@ -148,10 +249,21 @@ Sweep::run()
                      workers == 1 ? "" : "s");
     }
 
+    // Replay the cell's captured trace when one exists; traces_ is not
+    // mutated during execution, so concurrent reads are safe.
+    auto run_item = [this](const Item &item) {
+        if (!item.source_key.empty()) {
+            trace::TraceKernelSource source(
+                traces_.at(item.source_key).trace);
+            return runSource(source, item.cfg);
+        }
+        return runWorkload(item.workload, item.cfg);
+    };
+
     if (workers <= 1) {
         for (const std::size_t i : leaders) {
             Item &item = items_[i];
-            item.result = runWorkload(item.workload, item.cfg);
+            item.result = run_item(item);
             report(item);
         }
     } else {
@@ -160,8 +272,8 @@ Sweep::run()
         futures.reserve(leaders.size());
         for (const std::size_t i : leaders) {
             const Item &item = items_[i];
-            futures.push_back(pool.submit([&item, &report] {
-                RunResult r = runWorkload(item.workload, item.cfg);
+            futures.push_back(pool.submit([&item, &report, &run_item] {
+                RunResult r = run_item(item);
                 report(item);
                 return r;
             }));
@@ -178,6 +290,14 @@ Sweep::run()
         if (!item.result)
             item.result = memo_.at(item.key);
     }
+}
+
+std::shared_ptr<const trace::Trace>
+Sweep::capturedTrace(const std::string &workload,
+                     const WorkloadParams &params) const
+{
+    const auto it = traces_.find(sourceKeyOf(workload, params));
+    return it == traces_.end() ? nullptr : it->second.trace;
 }
 
 const RunResult &

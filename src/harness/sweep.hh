@@ -18,6 +18,13 @@
  *    many comparison points reference it.  The memo cache persists
  *    across run() calls, so benches can add follow-up grids
  *    incrementally.
+ *  - **Capture once, replay per design.**  By default each unique
+ *    (workload, params) source is generated once into an in-memory
+ *    gvc::trace::Trace and every design in the row replays it, so
+ *    generation cost scales with the workloads, not the grid.  Replay
+ *    is bit-identical to live generation; the memo key gains the trace
+ *    digest so memoized results name the exact streams they ran.
+ *    Disable with setCapture(false) or GVC_SWEEP_LIVE=1.
  *  - **Progress.**  Completed-cell progress is reported to stderr
  *    (stdout stays clean for the figure tables); disable with
  *    setProgress(false) or GVC_SWEEP_QUIET=1.
@@ -29,6 +36,7 @@
 #ifndef GVC_HARNESS_SWEEP_HH
 #define GVC_HARNESS_SWEEP_HH
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -95,6 +103,18 @@ class Sweep
     std::size_t uniqueRuns() const { return unique_runs_; }
     void setProgress(bool on) { progress_ = on; }
 
+    /** Enable/disable capture-once-replay-per-design (default: on). */
+    void setCapture(bool on) { capture_ = on; }
+    bool capture() const { return capture_; }
+
+    /** Distinct (workload, params) sources captured so far. */
+    std::size_t capturedTraces() const { return traces_.size(); }
+
+    /** The captured trace for (workload, params); null if none. */
+    std::shared_ptr<const trace::Trace>
+    capturedTrace(const std::string &workload,
+                  const WorkloadParams &params) const;
+
   private:
     struct Item
     {
@@ -102,14 +122,26 @@ class Sweep
         RunConfig cfg;
         std::string label;
         std::string key;
+        std::string source_key; ///< Trace-cache key when capturing.
         std::optional<RunResult> result;
     };
 
+    struct CapturedTrace
+    {
+        std::shared_ptr<const trace::Trace> trace;
+        std::uint64_t digest = 0;
+    };
+
+    /** Generate traces for pending cells and fold digests into keys. */
+    void captureSources();
+
     std::vector<Item> items_;
     std::unordered_map<std::string, RunResult> memo_;
+    std::unordered_map<std::string, CapturedTrace> traces_;
     unsigned jobs_;
     std::size_t unique_runs_ = 0;
     bool progress_;
+    bool capture_;
 };
 
 } // namespace gvc

@@ -26,6 +26,32 @@ namespace gvc
 {
 
 /**
+ * One mutating Vm operation.  The trace layer (src/trace/) records the
+ * setup-time operation sequence of a workload and replays it verbatim
+ * into a fresh Vm: because both PhysMem and PageTable allocate frames
+ * deterministically in call order, replaying the log reconstructs a
+ * bit-identical VM image — same VAs, same PPNs, same PTE addresses.
+ */
+struct VmOp
+{
+    enum class Kind : std::uint8_t {
+        kCreateProcess = 0,
+        kMmapAnon = 1,
+        kMmapAnonLarge = 2,
+        kAlias = 3,
+        kProtect = 4,
+        kUnmap = 5,
+    };
+
+    Kind kind = Kind::kCreateProcess;
+    Asid asid = 0;     ///< Target (destination) address space.
+    Asid src_asid = 0; ///< Alias source address space.
+    Vaddr base = 0;    ///< Alias source base, or protect/unmap range base.
+    std::uint64_t bytes = 0;
+    Perms perms = kPermNone;
+};
+
+/**
  * Owns all process address spaces and their page tables.  Components that
  * cache translations (TLBs, the FBT) subscribe to shootdown events.
  */
@@ -43,10 +69,17 @@ class Vm
     Asid
     createProcess()
     {
+        record({VmOp::Kind::kCreateProcess, 0, 0, 0, 0, kPermNone});
         const Asid asid = Asid(procs_.size());
         procs_.push_back(std::make_unique<ProcState>(pm_));
         return asid;
     }
+
+    /** Start/stop appending mutating operations to the op log. */
+    void recordOps(bool on) { recording_ = on; }
+
+    /** Operations recorded while recordOps(true) was in effect. */
+    const std::vector<VmOp> &recordedOps() const { return op_log_; }
 
     std::size_t processCount() const { return procs_.size(); }
 
@@ -58,6 +91,7 @@ class Vm
     mmapAnon(Asid asid, std::uint64_t bytes,
              Perms perms = kPermRead | kPermWrite)
     {
+        record({VmOp::Kind::kMmapAnon, asid, 0, 0, bytes, perms});
         ProcState &p = proc(asid);
         const std::uint64_t pages = pageCount(bytes);
         const Vaddr base = p.reserve(pages);
@@ -74,6 +108,7 @@ class Vm
     mmapAnonLarge(Asid asid, std::uint64_t bytes,
                   Perms perms = kPermRead | kPermWrite)
     {
+        record({VmOp::Kind::kMmapAnonLarge, asid, 0, 0, bytes, perms});
         ProcState &p = proc(asid);
         const std::uint64_t large_pages =
             (bytes + kLargePageSize - 1) / kLargePageSize;
@@ -95,6 +130,8 @@ class Vm
     alias(Asid dst_asid, Asid src_asid, Vaddr src_base,
           std::uint64_t bytes, Perms perms = kPermRead | kPermWrite)
     {
+        record({VmOp::Kind::kAlias, dst_asid, src_asid, src_base, bytes,
+                perms});
         ProcState &src = proc(src_asid);
         ProcState &dst = proc(dst_asid);
         const std::uint64_t pages = pageCount(bytes);
@@ -112,6 +149,7 @@ class Vm
     void
     protect(Asid asid, Vaddr base, std::uint64_t bytes, Perms perms)
     {
+        record({VmOp::Kind::kProtect, asid, 0, base, bytes, perms});
         ProcState &p = proc(asid);
         const std::uint64_t pages = pageCount(bytes);
         for (std::uint64_t i = 0; i < pages; ++i) {
@@ -126,6 +164,7 @@ class Vm
     void
     unmap(Asid asid, Vaddr base, std::uint64_t bytes)
     {
+        record({VmOp::Kind::kUnmap, asid, 0, base, bytes, kPermNone});
         ProcState &p = proc(asid);
         const std::uint64_t pages = pageCount(bytes);
         for (std::uint64_t i = 0; i < pages; ++i) {
@@ -209,6 +248,13 @@ class Vm
     }
 
     void
+    record(const VmOp &op)
+    {
+        if (recording_)
+            op_log_.push_back(op);
+    }
+
+    void
     firePageShootdown(Asid asid, Vpn vpn)
     {
         ++page_shootdowns_;
@@ -221,7 +267,37 @@ class Vm
     std::vector<PageShootdownFn> page_listeners_;
     std::vector<FullShootdownFn> full_listeners_;
     std::uint64_t page_shootdowns_ = 0;
+    std::vector<VmOp> op_log_;
+    bool recording_ = false;
 };
+
+/** Replay a recorded operation log into @p vm (trace replay). */
+inline void
+applyVmOps(Vm &vm, const std::vector<VmOp> &ops)
+{
+    for (const VmOp &op : ops) {
+        switch (op.kind) {
+          case VmOp::Kind::kCreateProcess:
+            vm.createProcess();
+            break;
+          case VmOp::Kind::kMmapAnon:
+            vm.mmapAnon(op.asid, op.bytes, op.perms);
+            break;
+          case VmOp::Kind::kMmapAnonLarge:
+            vm.mmapAnonLarge(op.asid, op.bytes, op.perms);
+            break;
+          case VmOp::Kind::kAlias:
+            vm.alias(op.asid, op.src_asid, op.base, op.bytes, op.perms);
+            break;
+          case VmOp::Kind::kProtect:
+            vm.protect(op.asid, op.base, op.bytes, op.perms);
+            break;
+          case VmOp::Kind::kUnmap:
+            vm.unmap(op.asid, op.base, op.bytes);
+            break;
+        }
+    }
+}
 
 } // namespace gvc
 

@@ -1,0 +1,69 @@
+#include "trace/kernel_source.hh"
+
+#include "mem/phys_mem.hh"
+
+namespace gvc::trace
+{
+
+void
+wrapForRecording(std::vector<KernelLaunch> &launches, Trace &capture)
+{
+    // Size everything first: RecordingWarpStream keeps raw pointers to
+    // the per-warp sink vectors, so the containers must not reallocate.
+    capture.kernels.clear();
+    capture.kernels.resize(launches.size());
+    for (std::size_t ki = 0; ki < launches.size(); ++ki) {
+        capture.kernels[ki].asid = launches[ki].asid;
+        capture.kernels[ki].warps.resize(launches[ki].warps.size());
+    }
+    for (std::size_t ki = 0; ki < launches.size(); ++ki) {
+        auto &warps = launches[ki].warps;
+        for (std::size_t wi = 0; wi < warps.size(); ++wi) {
+            warps[wi] = std::make_unique<RecordingWarpStream>(
+                std::move(warps[wi]), &capture.kernels[ki].warps[wi]);
+        }
+    }
+}
+
+Trace
+captureTrace(KernelSource &source, std::uint64_t phys_mem_bytes)
+{
+    Trace t;
+    t.workload = source.name();
+    t.params = source.params();
+
+    PhysMem pm(phys_mem_bytes);
+    Vm vm(pm);
+    vm.recordOps(true);
+    source.setup(vm);
+    vm.recordOps(false);
+    t.vm_ops = vm.recordedOps();
+
+    auto launches = source.kernels();
+    t.kernels.reserve(launches.size());
+    for (auto &launch : launches) {
+        TraceKernel k;
+        k.asid = launch.asid;
+        k.warps.reserve(launch.warps.size());
+        for (auto &stream : launch.warps) {
+            std::vector<WarpInst> warp;
+            WarpInst inst;
+            while (stream->next(inst))
+                warp.push_back(inst);
+            k.warps.push_back(std::move(warp));
+        }
+        t.kernels.push_back(std::move(k));
+    }
+    return t;
+}
+
+Trace
+captureWorkloadTrace(const std::string &workload,
+                     const WorkloadParams &params,
+                     std::uint64_t phys_mem_bytes)
+{
+    WorkloadKernelSource source(workload, params);
+    return captureTrace(source, phys_mem_bytes);
+}
+
+} // namespace gvc::trace

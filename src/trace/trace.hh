@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Captured workload traces: the on-disk representation of everything a
+ * simulation needs to re-execute a workload without regenerating it —
+ * the VM-image recipe (the setup-time Vm operation log) plus every
+ * per-warp instruction stream of every kernel launch.
+ *
+ * Replay is bit-identical to live generation: PhysMem and PageTable
+ * allocate frames deterministically in call order, so replaying the
+ * recorded VmOp log reconstructs the same VAs, PPNs, and PTE physical
+ * addresses, and the recorded WarpInst streams are the exact streams
+ * the live workload emitted.
+ *
+ * ## File format (version 1)
+ *
+ *     offset  size  field
+ *     0       4     magic "GVCT"
+ *     4       4     format version, u32 little-endian
+ *     8       8     FNV-1a-64 digest of the body, u64 little-endian
+ *     16      ...   body
+ *
+ * Body (all integers LEB128 varints unless noted):
+ *
+ *     workload name        varint length + bytes
+ *     params.scale         u64 little-endian (IEEE-754 bit pattern)
+ *     params.seed          varint
+ *     params.grid_warps    varint
+ *     params.graph         u8
+ *     vm-op count          varint
+ *       per op:            u8 kind, varint asid, varint src_asid,
+ *                          varint base, varint bytes, u8 perms
+ *     kernel count         varint
+ *       per kernel:        varint asid, varint warp count
+ *         per warp:        varint instruction count
+ *           per inst:      u8 op, then
+ *                          - compute/scratch: varint cycles
+ *                          - load/store: varint lane count (<= 32),
+ *                            varint first address, then zigzag-varint
+ *                            deltas between consecutive lane addresses
+ *                          - barrier: nothing
+ *
+ * Lane addresses are overwhelmingly small positive strides off the
+ * previous lane, so zigzag delta coding shrinks the dominant payload
+ * from 8 bytes to 1-2 bytes per lane.
+ */
+
+#ifndef GVC_TRACE_TRACE_HH
+#define GVC_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/warp_inst.hh"
+#include "mem/vm.hh"
+#include "workloads/workload.hh"
+
+namespace gvc::trace
+{
+
+/** Current on-disk format version. */
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/** File magic ("GVCT"). */
+inline constexpr char kTraceMagic[4] = {'G', 'V', 'C', 'T'};
+
+/** One recorded kernel launch: its ASID and fully-materialized warps. */
+struct TraceKernel
+{
+    Asid asid = 0;
+    std::vector<std::vector<WarpInst>> warps;
+};
+
+/** A complete captured workload. */
+struct Trace
+{
+    std::string workload;
+    WorkloadParams params;
+    std::vector<VmOp> vm_ops;
+    std::vector<TraceKernel> kernels;
+
+    std::uint64_t
+    totalInstructions() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &k : kernels)
+            for (const auto &w : k.warps)
+                n += w.size();
+        return n;
+    }
+
+    std::uint64_t
+    totalWarps() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &k : kernels)
+            n += k.warps.size();
+        return n;
+    }
+};
+
+/**
+ * FNV-1a-64 digest of the trace body (everything after the 16-byte
+ * header).  Identifies a capture for sweep memoization keys.
+ */
+std::uint64_t traceDigest(const Trace &trace);
+
+/** Serializes traces to the versioned binary format. */
+class TraceWriter
+{
+  public:
+    /** Full file image: header + body. */
+    static std::vector<std::uint8_t> serialize(const Trace &trace);
+
+    /**
+     * Write @p trace to @p path.
+     * @return false (with @p err filled when non-null) on I/O failure.
+     */
+    static bool writeFile(const std::string &path, const Trace &trace,
+                          std::string *err = nullptr);
+};
+
+/** Parses and validates the binary format. */
+class TraceReader
+{
+  public:
+    /**
+     * Parse a full file image.  Validates magic, version, digest, enum
+     * ranges, lane counts, and that the body is exactly consumed.
+     * @return false (with @p err filled when non-null) on any defect.
+     */
+    static bool parse(const std::uint8_t *data, std::size_t size,
+                      Trace &out, std::string *err = nullptr);
+
+    /** Read and parse @p path. */
+    static bool readFile(const std::string &path, Trace &out,
+                         std::string *err = nullptr);
+};
+
+} // namespace gvc::trace
+
+#endif // GVC_TRACE_TRACE_HH

@@ -96,6 +96,31 @@ TEST_F(CuTest, EmptyKernelCompletesImmediately)
     EXPECT_EQ(mem_.requests.size(), 0u);
 }
 
+// Regression: a zero-warp launch used to go through the CU wake/drain
+// machinery (consuming events and advancing the clock) and relied on
+// every CU reporting idle.  It must now complete synchronously inside
+// launch(), leave the clock untouched, and not poison later launches.
+TEST_F(CuTest, ZeroWarpKernelIsSynchronousAndClockNeutral)
+{
+    bool done = false;
+    gpu_.launch(KernelLaunch{}, [&] { done = true; });
+    EXPECT_TRUE(done); // completed inside launch(), no events needed
+    EXPECT_EQ(ctx_.now(), 0u);
+    ctx_.eq.run();
+    EXPECT_EQ(ctx_.now(), 0u); // nothing was scheduled
+    EXPECT_EQ(gpu_.kernelsLaunched(), 1u);
+
+    // A real launch afterwards still works (no stuck completion state).
+    KernelLaunch k;
+    std::vector<WarpInst> insts;
+    insts.push_back(WarpInst::compute(3));
+    k.warps.push_back(
+        std::make_unique<VectorWarpStream>(std::move(insts)));
+    run(std::move(k));
+    EXPECT_EQ(gpu_.kernelsLaunched(), 2u);
+    EXPECT_GT(ctx_.now(), 0u);
+}
+
 TEST_F(CuTest, LoadIsCoalescedAndBlocksWarp)
 {
     KernelLaunch k;

@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Tests for the gvc::trace layer: binary format round trips and error
+ * paths, RecordingWarpStream/ReplayWarpStream semantics, record->replay
+ * bit-identity of full RunResults against live generation (the tentpole
+ * property), and sweep capture-once/replay-per-design equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/results_io.hh"
+#include "harness/sweep.hh"
+#include "trace/kernel_source.hh"
+#include "trace/trace.hh"
+
+namespace gvc
+{
+namespace
+{
+
+using trace::Trace;
+using trace::TraceReader;
+using trace::TraceWriter;
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.scale = 0.05;
+    return p;
+}
+
+/** A small hand-built trace exercising every record type. */
+Trace
+sampleTrace()
+{
+    Trace t;
+    t.workload = "sample";
+    t.params.scale = 0.25;
+    t.params.seed = 0xabcdef;
+    t.params.grid_warps = 64;
+    t.params.graph = GraphKind::kGrid;
+    t.vm_ops.push_back({VmOp::Kind::kCreateProcess, 0, 0, 0, 0,
+                        kPermNone});
+    t.vm_ops.push_back({VmOp::Kind::kMmapAnon, 0, 0, 0, 1 << 20,
+                        Perms(kPermRead | kPermWrite)});
+    t.vm_ops.push_back({VmOp::Kind::kAlias, 0, 0, 0x1000'0000, 0x2000,
+                        kPermRead});
+    t.vm_ops.push_back({VmOp::Kind::kProtect, 0, 0, 0x1000'0000, 0x1000,
+                        kPermRead});
+    t.vm_ops.push_back({VmOp::Kind::kUnmap, 0, 0, 0x1000'1000, 0x1000,
+                        kPermNone});
+
+    trace::TraceKernel k;
+    k.asid = 0;
+    std::vector<WarpInst> warp;
+    warp.push_back(WarpInst::compute(17));
+    warp.push_back(WarpInst::load({0x1000, 0x1004, 0x1008, 0x2000}));
+    warp.push_back(WarpInst::store({0x9000, 0x8000})); // negative delta
+    warp.push_back(WarpInst::scratch(false));
+    warp.push_back(WarpInst::barrier());
+    warp.push_back(WarpInst::load({0xffff'ffff'f000ull})); // 1 lane
+    k.warps.push_back(std::move(warp));
+    k.warps.emplace_back(); // empty warp stream
+    t.kernels.push_back(std::move(k));
+    return t;
+}
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+// ---------------------------------------------------------------------
+// Binary format
+// ---------------------------------------------------------------------
+
+TEST(TraceFormat, SerializeParseRoundTripIsByteIdentical)
+{
+    const Trace t = sampleTrace();
+    const auto bytes = TraceWriter::serialize(t);
+
+    Trace parsed;
+    std::string err;
+    ASSERT_TRUE(TraceReader::parse(bytes.data(), bytes.size(), parsed,
+                                   &err))
+        << err;
+
+    EXPECT_EQ(parsed.workload, t.workload);
+    EXPECT_EQ(parsed.params.scale, t.params.scale);
+    EXPECT_EQ(parsed.params.seed, t.params.seed);
+    EXPECT_EQ(parsed.params.grid_warps, t.params.grid_warps);
+    EXPECT_EQ(parsed.params.graph, t.params.graph);
+    ASSERT_EQ(parsed.vm_ops.size(), t.vm_ops.size());
+    for (std::size_t i = 0; i < t.vm_ops.size(); ++i) {
+        EXPECT_EQ(parsed.vm_ops[i].kind, t.vm_ops[i].kind);
+        EXPECT_EQ(parsed.vm_ops[i].asid, t.vm_ops[i].asid);
+        EXPECT_EQ(parsed.vm_ops[i].src_asid, t.vm_ops[i].src_asid);
+        EXPECT_EQ(parsed.vm_ops[i].base, t.vm_ops[i].base);
+        EXPECT_EQ(parsed.vm_ops[i].bytes, t.vm_ops[i].bytes);
+        EXPECT_EQ(parsed.vm_ops[i].perms, t.vm_ops[i].perms);
+    }
+    ASSERT_EQ(parsed.kernels.size(), 1u);
+    ASSERT_EQ(parsed.kernels[0].warps.size(), 2u);
+    const auto &w0 = t.kernels[0].warps[0];
+    const auto &p0 = parsed.kernels[0].warps[0];
+    ASSERT_EQ(p0.size(), w0.size());
+    for (std::size_t i = 0; i < w0.size(); ++i) {
+        EXPECT_EQ(p0[i].op, w0[i].op);
+        EXPECT_EQ(p0[i].lane_addrs, w0[i].lane_addrs);
+        if (!w0[i].isGlobalMem())
+            EXPECT_EQ(p0[i].cycles, w0[i].cycles);
+    }
+    EXPECT_TRUE(parsed.kernels[0].warps[1].empty());
+
+    // Re-serializing the parse must reproduce the file byte for byte.
+    EXPECT_EQ(TraceWriter::serialize(parsed), bytes);
+    EXPECT_EQ(trace::traceDigest(parsed), trace::traceDigest(t));
+}
+
+TEST(TraceFormat, FileRoundTrip)
+{
+    const Trace t = sampleTrace();
+    const std::string path = tempPath("roundtrip.gvct");
+    std::string err;
+    ASSERT_TRUE(TraceWriter::writeFile(path, t, &err)) << err;
+    Trace parsed;
+    ASSERT_TRUE(TraceReader::readFile(path, parsed, &err)) << err;
+    EXPECT_EQ(TraceWriter::serialize(parsed), TraceWriter::serialize(t));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFormat, RejectsShortFile)
+{
+    const std::uint8_t bytes[4] = {'G', 'V', 'C', 'T'};
+    Trace out;
+    std::string err;
+    EXPECT_FALSE(TraceReader::parse(bytes, sizeof(bytes), out, &err));
+    EXPECT_NE(err.find("too short"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, RejectsBadMagic)
+{
+    auto bytes = TraceWriter::serialize(sampleTrace());
+    bytes[0] = 'X';
+    Trace out;
+    std::string err;
+    EXPECT_FALSE(TraceReader::parse(bytes.data(), bytes.size(), out,
+                                    &err));
+    EXPECT_NE(err.find("magic"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, RejectsUnsupportedVersion)
+{
+    auto bytes = TraceWriter::serialize(sampleTrace());
+    bytes[4] = std::uint8_t(trace::kTraceVersion + 1);
+    Trace out;
+    std::string err;
+    EXPECT_FALSE(TraceReader::parse(bytes.data(), bytes.size(), out,
+                                    &err));
+    EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, RejectsCorruptBody)
+{
+    auto bytes = TraceWriter::serialize(sampleTrace());
+    bytes.back() ^= 0xff; // flip body bits; header digest now wrong
+    Trace out;
+    std::string err;
+    EXPECT_FALSE(TraceReader::parse(bytes.data(), bytes.size(), out,
+                                    &err));
+    EXPECT_NE(err.find("digest"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, RejectsTruncatedBody)
+{
+    // Truncate the body and re-stamp a valid digest so the cursor-level
+    // truncation detection (not the checksum) is what fires.
+    auto bytes = TraceWriter::serialize(sampleTrace());
+    bytes.resize(bytes.size() - 10);
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 16; i < bytes.size(); ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ull;
+    }
+    for (int i = 0; i < 8; ++i)
+        bytes[8 + std::size_t(i)] = std::uint8_t(h >> (8 * i));
+    Trace out;
+    std::string err;
+    EXPECT_FALSE(TraceReader::parse(bytes.data(), bytes.size(), out,
+                                    &err));
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, RejectsOverwideLaneCount)
+{
+    Trace t = sampleTrace();
+    std::vector<Vaddr> lanes(kWarpLanes + 1, 0x4000);
+    t.kernels[0].warps[0].push_back(WarpInst::load(lanes));
+    const auto bytes = TraceWriter::serialize(t);
+    Trace out;
+    std::string err;
+    EXPECT_FALSE(TraceReader::parse(bytes.data(), bytes.size(), out,
+                                    &err));
+    EXPECT_NE(err.find("lane count"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, ReadFileReportsMissingFile)
+{
+    Trace out;
+    std::string err;
+    EXPECT_FALSE(TraceReader::readFile(tempPath("does-not-exist.gvct"),
+                                       out, &err));
+    EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------
+// Streams
+// ---------------------------------------------------------------------
+
+TEST(TraceStreams, RecordingStreamForwardsAndCaptures)
+{
+    std::vector<WarpInst> insts;
+    insts.push_back(WarpInst::compute(5));
+    insts.push_back(WarpInst::load({0x100, 0x104}));
+    auto inner = std::make_unique<VectorWarpStream>(insts);
+
+    std::vector<WarpInst> sink;
+    trace::RecordingWarpStream rec(std::move(inner), &sink);
+    WarpInst out;
+    std::size_t n = 0;
+    while (rec.next(out)) {
+        EXPECT_EQ(out.op, insts[n].op);
+        EXPECT_EQ(out.lane_addrs, insts[n].lane_addrs);
+        ++n;
+    }
+    EXPECT_EQ(n, insts.size());
+    ASSERT_EQ(sink.size(), insts.size());
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        EXPECT_EQ(sink[i].op, insts[i].op);
+        EXPECT_EQ(sink[i].cycles, insts[i].cycles);
+        EXPECT_EQ(sink[i].lane_addrs, insts[i].lane_addrs);
+    }
+}
+
+TEST(TraceStreams, ReplayStreamReusesCallerBufferCapacity)
+{
+    auto t = std::make_shared<Trace>(sampleTrace());
+    trace::ReplayWarpStream stream(t, &t->kernels[0].warps[0]);
+    WarpInst out;
+    out.lane_addrs.reserve(kWarpLanes);
+    const Vaddr *buf = out.lane_addrs.data();
+    std::size_t n = 0;
+    while (stream.next(out)) {
+        // assignInto must never reallocate once warmed to kWarpLanes.
+        EXPECT_EQ(out.lane_addrs.data(), buf);
+        ++n;
+    }
+    EXPECT_EQ(n, t->kernels[0].warps[0].size());
+}
+
+// ---------------------------------------------------------------------
+// VM op-log replay
+// ---------------------------------------------------------------------
+
+TEST(TraceVmReplay, OpLogRebuildsBitIdenticalTranslations)
+{
+    PhysMem pm1(1ull << 30);
+    Vm vm1(pm1);
+    vm1.recordOps(true);
+    const Asid a = vm1.createProcess();
+    const Vaddr base = vm1.mmapAnon(a, 1 << 16);
+    const Vaddr big = vm1.mmapAnonLarge(a, 4 << 20);
+    const Vaddr syn = vm1.alias(a, a, base, 1 << 14);
+    vm1.protect(a, base, 1 << 13, kPermRead);
+    vm1.unmap(a, base + (1 << 14), 1 << 13);
+    vm1.recordOps(false);
+
+    PhysMem pm2(1ull << 30);
+    Vm vm2(pm2);
+    applyVmOps(vm2, vm1.recordedOps());
+
+    for (Vaddr va :
+         {base, base + 0x3000, big, big + 0x200000, syn, syn + 0x1000}) {
+        const auto t1 = vm1.translate(a, va);
+        const auto t2 = vm2.translate(a, va);
+        ASSERT_EQ(bool(t1), bool(t2)) << std::hex << va;
+        if (t1) {
+            EXPECT_EQ(t1->ppn, t2->ppn) << std::hex << va;
+            EXPECT_EQ(t1->perms, t2->perms) << std::hex << va;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record -> replay bit-identity (the tentpole property)
+// ---------------------------------------------------------------------
+
+/** Lossless JSON dump: equal strings == every field bit-identical. */
+std::string
+dumpOf(const RunResult &r)
+{
+    return runResultToJson(r).dump();
+}
+
+TEST(TraceReplay, BitIdenticalRunResultsAcrossWorkloadsAndDesigns)
+{
+    const std::vector<std::string> workloads = {"bfs", "kmeans",
+                                                "hotspot"};
+    const std::vector<MmuDesign> designs = {MmuDesign::kBaseline512,
+                                            MmuDesign::kVcOpt};
+    for (const auto &w : workloads) {
+        RunConfig cfg;
+        cfg.workload = tinyParams();
+        const Trace t =
+            trace::captureWorkloadTrace(w, cfg.workload,
+                                        cfg.soc.phys_mem_bytes);
+        auto shared = std::make_shared<const Trace>(t);
+        for (const MmuDesign d : designs) {
+            cfg.design = d;
+            const RunResult live = runWorkload(w, cfg);
+            trace::TraceKernelSource source(shared);
+            const RunResult replayed = runSource(source, cfg);
+            EXPECT_EQ(dumpOf(live), dumpOf(replayed))
+                << w << " x " << designName(d);
+        }
+    }
+}
+
+TEST(TraceReplay, FileReplayThroughRunConfigMatchesLive)
+{
+    RunConfig cfg;
+    cfg.workload = tinyParams();
+    cfg.design = MmuDesign::kVcOpt;
+    const RunResult live = runWorkload("pagerank", cfg);
+
+    const std::string path = tempPath("pagerank.gvct");
+    std::string err;
+    ASSERT_TRUE(TraceWriter::writeFile(
+        path,
+        trace::captureWorkloadTrace("pagerank", cfg.workload,
+                                    cfg.soc.phys_mem_bytes),
+        &err))
+        << err;
+
+    RunConfig replay_cfg;
+    replay_cfg.design = MmuDesign::kVcOpt;
+    replay_cfg.trace_in = path;
+    const RunResult replayed = runWorkload("", replay_cfg);
+    EXPECT_EQ(dumpOf(live), dumpOf(replayed));
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, CaptureDuringLiveRunMatchesStandaloneCapture)
+{
+    RunConfig cfg;
+    cfg.workload = tinyParams();
+    cfg.design = MmuDesign::kIdeal;
+    Trace captured;
+    const RunResult live = runWorkload("backprop", cfg, {}, &captured);
+
+    const Trace standalone = trace::captureWorkloadTrace(
+        "backprop", cfg.workload, cfg.soc.phys_mem_bytes);
+    EXPECT_EQ(TraceWriter::serialize(captured),
+              TraceWriter::serialize(standalone));
+
+    // And replaying the mid-run capture reproduces the run itself.
+    trace::TraceKernelSource source(
+        std::make_shared<const Trace>(captured));
+    EXPECT_EQ(dumpOf(live), dumpOf(runSource(source, cfg)));
+}
+
+// ---------------------------------------------------------------------
+// Sweep capture-once / replay-per-design
+// ---------------------------------------------------------------------
+
+TEST(TraceSweep, CapturedRowMatchesLiveCells)
+{
+    const std::vector<std::string> workloads = {"bfs"};
+    const std::vector<MmuDesign> designs = {
+        MmuDesign::kIdeal, MmuDesign::kBaseline512, MmuDesign::kVcOpt};
+    RunConfig base;
+    base.workload = tinyParams();
+
+    Sweep captured(1);
+    captured.setProgress(false);
+    ASSERT_TRUE(captured.capture());
+    captured.addGrid(workloads, designs, base);
+    captured.run();
+
+    Sweep live(1);
+    live.setProgress(false);
+    live.setCapture(false);
+    live.addGrid(workloads, designs, base);
+    live.run();
+
+    // One generation pass served the whole row...
+    EXPECT_EQ(captured.capturedTraces(), 1u);
+    ASSERT_NE(captured.capturedTrace("bfs", base.workload), nullptr);
+    EXPECT_EQ(live.capturedTraces(), 0u);
+    // ...and every cell is bit-identical to its live counterpart.
+    ASSERT_EQ(captured.size(), live.size());
+    for (std::size_t i = 0; i < captured.size(); ++i)
+        EXPECT_EQ(dumpOf(captured.result(i)), dumpOf(live.result(i)))
+            << "cell " << i;
+}
+
+TEST(TraceSweep, MemoizationStillDeduplicatesUnderCapture)
+{
+    RunConfig base;
+    base.workload = tinyParams();
+    base.design = MmuDesign::kIdeal;
+
+    Sweep sweep(1);
+    sweep.setProgress(false);
+    sweep.add("hotspot", base);
+    sweep.add("hotspot", base); // duplicate cell
+    sweep.run();
+    EXPECT_EQ(sweep.uniqueRuns(), 1u);
+    EXPECT_EQ(sweep.capturedTraces(), 1u);
+    EXPECT_EQ(dumpOf(sweep.result(0)), dumpOf(sweep.result(1)));
+}
+
+} // namespace
+} // namespace gvc

@@ -1,0 +1,36 @@
+# CLI smoke test: record a small workload once, replay it under two
+# designs, and require the replayed RunResult JSON to be byte-identical
+# to a live gvc_run of the same (workload, design).  Mirrors the CI
+# record+replay step so the property is checked by `ctest` locally too.
+
+set(trace "${WORK_DIR}/smoke_mis.gvct")
+
+function(run_checked)
+    execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                    OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        string(JOIN " " cmd ${ARGN})
+        message(FATAL_ERROR "command failed (${rc}): ${cmd}")
+    endif()
+endfunction()
+
+run_checked(${GVC_TRACE} record -w mis -o ${trace} --scale 0.05)
+run_checked(${GVC_TRACE} info ${trace})
+
+foreach(design ideal vc-opt)
+    run_checked(${GVC_TRACE} replay ${trace} -d ${design} --quiet
+                --json ${WORK_DIR}/smoke_replay_${design}.json)
+    run_checked(${GVC_RUN} -w mis -d ${design} --scale 0.05
+                --json ${WORK_DIR}/smoke_live_${design}.json)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/smoke_replay_${design}.json
+                ${WORK_DIR}/smoke_live_${design}.json
+        RESULT_VARIABLE diff_rc)
+    if(NOT diff_rc EQUAL 0)
+        message(FATAL_ERROR
+                "replayed RunResult differs from live run for ${design}")
+    endif()
+endforeach()
+
+message(STATUS "record+replay bit-identical under both designs")

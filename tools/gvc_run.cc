@@ -17,6 +17,7 @@
 #include <string>
 
 #include "harness/energy.hh"
+#include "harness/results_io.hh"
 #include "harness/runner.hh"
 
 using namespace gvc;
@@ -29,6 +30,8 @@ struct Options
     std::string workload = "pagerank";
     std::string design = "vc-opt";
     RunConfig cfg;
+    std::string trace_out; ///< Capture the run into this trace file.
+    std::string json_out;  ///< Emit the RunResult as JSON (path or -).
     bool dump_stats = false;
 };
 
@@ -50,6 +53,10 @@ usage(int code)
         "      --fbt-entries N     FBT entries (raw mode)\n"
         "      --remap-entries N   synonym remap table entries\n"
         "      --cus N             number of compute units\n"
+        "      --trace-out PATH    capture the workload into a trace file\n"
+        "      --trace-in PATH     replay a trace file (ignores -w/--scale/\n"
+        "                          --seed; metadata comes from the trace)\n"
+        "      --json PATH|-       write the RunResult as JSON\n"
         "      --stats             dump the full statistics registry\n"
         "      --list              list workloads and exit\n"
         "      --help              this text\n");
@@ -128,6 +135,12 @@ parse(int argc, char **argv)
                 unsigned(std::atoi(need(i)));
         } else if (a == "--cus") {
             opt.cfg.soc.gpu.num_cus = unsigned(std::atoi(need(i)));
+        } else if (a == "--trace-out") {
+            opt.trace_out = need(i);
+        } else if (a == "--trace-in") {
+            opt.cfg.trace_in = need(i);
+        } else if (a == "--json") {
+            opt.json_out = need(i);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             usage(1);
@@ -157,12 +170,20 @@ int
 main(int argc, char **argv)
 {
     const Options opt = parse(argc, argv);
-    std::printf("gvc_run: %s under %s (scale %.2f, seed %llu)\n\n",
-                opt.workload.c_str(), designName(opt.cfg.design),
-                opt.cfg.workload.scale,
-                (unsigned long long)opt.cfg.workload.seed);
+    if (opt.cfg.trace_in.empty()) {
+        std::printf("gvc_run: %s under %s (scale %.2f, seed %llu)\n\n",
+                    opt.workload.c_str(), designName(opt.cfg.design),
+                    opt.cfg.workload.scale,
+                    (unsigned long long)opt.cfg.workload.seed);
+    } else {
+        std::printf("gvc_run: replaying '%s' under %s\n\n",
+                    opt.cfg.trace_in.c_str(),
+                    designName(opt.cfg.design));
+    }
 
     std::string stats_dump;
+    trace::Trace capture;
+    trace::Trace *cap = opt.trace_out.empty() ? nullptr : &capture;
     const RunResult r = runWorkload(
         opt.workload, opt.cfg,
         [&](SystemUnderTest &sut, Gpu &, SimContext &ctx) {
@@ -172,7 +193,36 @@ main(int argc, char **argv)
             std::ostringstream os;
             ctx.stats.dump(os);
             stats_dump = os.str();
-        });
+        },
+        cap);
+    if (cap) {
+        std::string err;
+        if (!trace::TraceWriter::writeFile(opt.trace_out, capture, &err))
+            fatal("gvc_run: " + err);
+        std::fprintf(stderr,
+                     "[gvc_run] wrote trace '%s' (%llu warps, %llu "
+                     "instructions, digest %016llx)\n",
+                     opt.trace_out.c_str(),
+                     (unsigned long long)capture.totalWarps(),
+                     (unsigned long long)capture.totalInstructions(),
+                     (unsigned long long)trace::traceDigest(capture));
+    }
+    if (!opt.json_out.empty()) {
+        const SocConfig effective =
+            opt.cfg.raw_soc ? opt.cfg.soc
+                            : configFor(opt.cfg.design, opt.cfg.soc);
+        const std::string doc =
+            runResultToJson(r, &effective).dump(2) + "\n";
+        if (opt.json_out == "-") {
+            std::fputs(doc.c_str(), stdout);
+        } else {
+            std::FILE *f = std::fopen(opt.json_out.c_str(), "wb");
+            if (!f)
+                fatal("gvc_run: cannot open '" + opt.json_out + "'");
+            std::fwrite(doc.data(), 1, doc.size(), f);
+            std::fclose(f);
+        }
+    }
     const EnergyEstimate e = estimateEnergy(r);
 
     std::printf("execution\n");

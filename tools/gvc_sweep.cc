@@ -42,6 +42,7 @@ struct Options
     std::string csv_path;
     bool quiet = false;
     bool print_table = true;
+    bool live = false; ///< Regenerate per cell instead of trace replay.
 };
 
 [[noreturn]] void
@@ -64,6 +65,9 @@ usage(int code)
         "      --percu-tlb N       per-CU TLB entries (raw mode)\n"
         "      --fbt-entries N     FBT entries (raw mode)\n"
         "      --cus N             number of compute units\n"
+        "      --live              regenerate each workload per cell\n"
+        "                          instead of capture-once/replay\n"
+        "                          (also: GVC_SWEEP_LIVE=1)\n"
         "      --no-table          skip the summary table on stdout\n"
         "  -q, --quiet             no progress output on stderr\n"
         "      --list              list workloads and designs, exit\n"
@@ -182,6 +186,8 @@ parse(int argc, char **argv)
             opt.base.raw_soc = true;
         } else if (a == "--cus") {
             opt.base.soc.gpu.num_cus = unsigned(std::atoi(need(i)));
+        } else if (a == "--live") {
+            opt.live = true;
         } else if (a == "--no-table") {
             opt.print_table = false;
         } else if (a == "-q" || a == "--quiet") {
@@ -248,6 +254,8 @@ main(int argc, char **argv)
     Sweep sweep(opt.jobs);
     if (opt.quiet)
         sweep.setProgress(false);
+    if (opt.live)
+        sweep.setCapture(false);
     sweep.addGrid(opt.workloads, opt.designs, opt.base);
     sweep.run();
 
