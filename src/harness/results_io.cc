@@ -1,11 +1,14 @@
 #include "harness/results_io.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
+#include "harness/cli.hh"
 #include "sim/logging.hh"
 
 namespace gvc
@@ -623,6 +626,12 @@ resultsToJson(const ExportMeta &meta,
     grid.set("scale", meta.scale);
     grid.set("seed", meta.seed);
     grid.set("jobs", meta.jobs);
+    if (meta.shard_count > 1) {
+        Json shard = Json::object();
+        shard.set("index", meta.shard_index);
+        shard.set("count", meta.shard_count);
+        grid.set("shard", std::move(shard));
+    }
 
     Json results = Json::array();
     for (const auto &rec : records) {
@@ -641,6 +650,522 @@ resultsToJson(const ExportMeta &meta,
     doc.set("grid", std::move(grid));
     doc.set("results", std::move(results));
     return doc;
+}
+
+// ---------------------------------------------------------------------
+// Import (resultsFromJson) and shard merging
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Strict field extraction with dotted-path error messages.  Every
+ * getter requires presence and the right type; the first failure wins
+ * so the reported error names the innermost offending field.
+ */
+struct Importer
+{
+    std::string err;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what;
+        return false;
+    }
+
+    const Json *
+    get(const Json &obj, const char *key, const std::string &ctx)
+    {
+        const Json *v = obj.find(key);
+        if (!v)
+            fail(ctx + ": missing field '" + key + "'");
+        return v;
+    }
+
+    bool
+    getU64(const Json &obj, const char *key, const std::string &ctx,
+           std::uint64_t &out)
+    {
+        const Json *v = get(obj, key, ctx);
+        if (!v)
+            return false;
+        if (!v->isNumber())
+            return fail(ctx + "." + key + ": expected a number");
+        out = v->asU64();
+        return true;
+    }
+
+    bool
+    getUnsigned(const Json &obj, const char *key,
+                const std::string &ctx, unsigned &out)
+    {
+        std::uint64_t v = 0;
+        if (!getU64(obj, key, ctx, v))
+            return false;
+        if (v > 0xffffffffull)
+            return fail(ctx + "." + key + ": value out of range");
+        out = unsigned(v);
+        return true;
+    }
+
+    bool
+    getNumber(const Json &obj, const char *key, const std::string &ctx,
+              double &out)
+    {
+        const Json *v = get(obj, key, ctx);
+        if (!v)
+            return false;
+        if (!v->isNumber())
+            return fail(ctx + "." + key + ": expected a number");
+        out = v->asNumber();
+        return true;
+    }
+
+    bool
+    getBool(const Json &obj, const char *key, const std::string &ctx,
+            bool &out)
+    {
+        const Json *v = get(obj, key, ctx);
+        if (!v)
+            return false;
+        if (v->type() != Json::Type::kBool)
+            return fail(ctx + "." + key + ": expected a bool");
+        out = v->asBool();
+        return true;
+    }
+
+    bool
+    getString(const Json &obj, const char *key, const std::string &ctx,
+              std::string &out)
+    {
+        const Json *v = get(obj, key, ctx);
+        if (!v)
+            return false;
+        if (!v->isString())
+            return fail(ctx + "." + key + ": expected a string");
+        out = v->asString();
+        return true;
+    }
+
+    const Json *
+    getObject(const Json &obj, const char *key, const std::string &ctx)
+    {
+        const Json *v = get(obj, key, ctx);
+        if (!v)
+            return nullptr;
+        if (!v->isObject()) {
+            fail(ctx + "." + key + ": expected an object");
+            return nullptr;
+        }
+        return v;
+    }
+};
+
+bool
+socConfigFromJson(Importer &imp, const Json &j, const std::string &ctx,
+                  SocConfig &soc)
+{
+    const Json *gpu = imp.getObject(j, "gpu", ctx);
+    if (!gpu)
+        return false;
+    const std::string gctx = ctx + ".gpu";
+    unsigned sched = 0;
+    if (!imp.getUnsigned(*gpu, "num_cus", gctx, soc.gpu.num_cus) ||
+        !imp.getUnsigned(*gpu, "max_resident_warps", gctx,
+                         soc.gpu.max_resident_warps) ||
+        !imp.getU64(*gpu, "scratchpad_latency", gctx,
+                    soc.gpu.scratchpad_latency) ||
+        !imp.getUnsigned(*gpu, "max_outstanding_stores", gctx,
+                         soc.gpu.max_outstanding_stores) ||
+        !imp.getUnsigned(*gpu, "sched", gctx, sched))
+        return false;
+    soc.gpu.sched = WarpSchedPolicy(sched);
+
+    if (!imp.getU64(j, "l1_size", ctx, soc.l1_size) ||
+        !imp.getUnsigned(j, "l1_assoc", ctx, soc.l1_assoc) ||
+        !imp.getU64(j, "l2_size", ctx, soc.l2_size) ||
+        !imp.getUnsigned(j, "l2_assoc", ctx, soc.l2_assoc) ||
+        !imp.getUnsigned(j, "l2_banks", ctx, soc.l2_banks) ||
+        !imp.getU64(j, "l1_latency", ctx, soc.l1_latency) ||
+        !imp.getU64(j, "cu_to_l2", ctx, soc.cu_to_l2) ||
+        !imp.getU64(j, "l2_latency", ctx, soc.l2_latency) ||
+        !imp.getU64(j, "l2_to_dir", ctx, soc.l2_to_dir) ||
+        !imp.getU64(j, "dir_latency", ctx, soc.dir_latency) ||
+        !imp.getU64(j, "cu_to_iommu", ctx, soc.cu_to_iommu) ||
+        !imp.getU64(j, "l2_to_iommu", ctx, soc.l2_to_iommu) ||
+        !imp.getU64(j, "fbt_latency", ctx, soc.fbt_latency) ||
+        !imp.getU64(j, "percu_tlb_latency", ctx,
+                    soc.percu_tlb_latency) ||
+        !imp.getUnsigned(j, "percu_tlb_entries", ctx,
+                         soc.percu_tlb_entries) ||
+        !imp.getUnsigned(j, "percu_tlb_assoc", ctx,
+                         soc.percu_tlb_assoc) ||
+        !imp.getBool(j, "percu_tlb_infinite", ctx,
+                     soc.percu_tlb_infinite))
+        return false;
+
+    const Json *iommu = imp.getObject(j, "iommu", ctx);
+    if (!iommu)
+        return false;
+    const std::string ictx = ctx + ".iommu";
+    if (!imp.getUnsigned(*iommu, "tlb_entries", ictx,
+                         soc.iommu.tlb_entries) ||
+        !imp.getUnsigned(*iommu, "tlb_assoc", ictx,
+                         soc.iommu.tlb_assoc) ||
+        !imp.getBool(*iommu, "tlb_infinite", ictx,
+                     soc.iommu.tlb_infinite) ||
+        !imp.getNumber(*iommu, "accesses_per_cycle", ictx,
+                       soc.iommu.accesses_per_cycle) ||
+        !imp.getBool(*iommu, "unlimited_bw", ictx,
+                     soc.iommu.unlimited_bw) ||
+        !imp.getUnsigned(*iommu, "banks", ictx, soc.iommu.banks) ||
+        !imp.getUnsigned(*iommu, "bank_select_shift", ictx,
+                         soc.iommu.bank_select_shift) ||
+        !imp.getU64(*iommu, "tlb_latency", ictx,
+                    soc.iommu.tlb_latency) ||
+        !imp.getU64(*iommu, "second_level_latency", ictx,
+                    soc.iommu.second_level_latency) ||
+        !imp.getU64(*iommu, "fault_latency", ictx,
+                    soc.iommu.fault_latency) ||
+        !imp.getU64(*iommu, "sample_window", ictx,
+                    soc.iommu.sample_window))
+        return false;
+    const Json *ptw = imp.getObject(*iommu, "ptw", ictx);
+    if (!ptw)
+        return false;
+    const std::string pctx = ictx + ".ptw";
+    if (!imp.getUnsigned(*ptw, "max_concurrent", pctx,
+                         soc.iommu.ptw.max_concurrent) ||
+        !imp.getU64(*ptw, "pwc_hit_latency", pctx,
+                    soc.iommu.ptw.pwc_hit_latency) ||
+        !imp.getU64(*ptw, "dispatch_latency", pctx,
+                    soc.iommu.ptw.dispatch_latency))
+        return false;
+
+    const Json *fbt = imp.getObject(j, "fbt", ctx);
+    if (!fbt)
+        return false;
+    const std::string fctx = ctx + ".fbt";
+    if (!imp.getUnsigned(*fbt, "entries", fctx, soc.fbt.entries) ||
+        !imp.getUnsigned(*fbt, "bt_assoc", fctx, soc.fbt.bt_assoc) ||
+        !imp.getUnsigned(*fbt, "ft_assoc", fctx, soc.fbt.ft_assoc) ||
+        !imp.getBool(*fbt, "split_large_pages", fctx,
+                     soc.fbt.split_large_pages))
+        return false;
+
+    const Json *dram = imp.getObject(j, "dram", ctx);
+    if (!dram)
+        return false;
+    const std::string dctx = ctx + ".dram";
+    if (!imp.getU64(*dram, "access_latency", dctx,
+                    soc.dram.access_latency) ||
+        !imp.getNumber(*dram, "bytes_per_cycle", dctx,
+                       soc.dram.bytes_per_cycle))
+        return false;
+
+    return imp.getBool(j, "fbt_as_second_level_tlb", ctx,
+                       soc.fbt_as_second_level_tlb) &&
+           imp.getUnsigned(j, "synonym_remap_entries", ctx,
+                           soc.synonym_remap_entries) &&
+           imp.getNumber(j, "cu_injection_rate", ctx,
+                         soc.cu_injection_rate) &&
+           imp.getU64(j, "phys_mem_bytes", ctx, soc.phys_mem_bytes) &&
+           imp.getBool(j, "track_lifetimes", ctx,
+                       soc.track_lifetimes) &&
+           imp.getBool(j, "classify_tlb_misses", ctx,
+                       soc.classify_tlb_misses);
+}
+
+bool
+workloadParamsFromJson(Importer &imp, const Json &j,
+                       const std::string &ctx, WorkloadParams &p)
+{
+    unsigned graph = 0;
+    if (!imp.getNumber(j, "scale", ctx, p.scale) ||
+        !imp.getU64(j, "seed", ctx, p.seed) ||
+        !imp.getUnsigned(j, "grid_warps", ctx, p.grid_warps) ||
+        !imp.getUnsigned(j, "graph", ctx, graph))
+        return false;
+    p.graph = GraphKind(graph);
+    return true;
+}
+
+bool
+resultRecordFromJson(Importer &imp, const Json &j,
+                     const std::string &ctx, ResultRecord &rec)
+{
+    if (!imp.getString(j, "workload", ctx, rec.result.workload))
+        return false;
+    std::string design;
+    if (!imp.getString(j, "design", ctx, design))
+        return false;
+    if (!designFromName(design, rec.result.design))
+        return imp.fail(ctx + ": unknown design '" + design + "'");
+    rec.cfg.design = rec.result.design;
+
+#define X(field)                                                        \
+    {                                                                   \
+        std::uint64_t v = 0;                                            \
+        if (!imp.getU64(j, #field, ctx, v))                             \
+            return false;                                               \
+        rec.result.field = v;                                           \
+    }
+    GVC_RUNRESULT_U64_FIELDS(X)
+#undef X
+#define X(field)                                                        \
+    if (!imp.getNumber(j, #field, ctx, rec.result.field))               \
+        return false;
+    GVC_RUNRESULT_F64_FIELDS(X)
+#undef X
+
+    const Json *bd = imp.getObject(j, "tlb_breakdown", ctx);
+    if (!bd)
+        return false;
+#define X(field)                                                        \
+    if (!imp.getU64(*bd, #field, ctx + ".tlb_breakdown",               \
+                    rec.result.tlb_breakdown.field))                    \
+        return false;
+    GVC_RUNRESULT_BREAKDOWN_FIELDS(X)
+#undef X
+
+    const Json *soc = imp.getObject(j, "soc", ctx);
+    if (!soc || !socConfigFromJson(imp, *soc, ctx + ".soc", rec.cfg.soc))
+        return false;
+    // The document stores the *effective* config; raw_soc makes the
+    // re-exported "soc" object reproduce it byte-for-byte.
+    rec.cfg.raw_soc = true;
+
+    const Json *params = imp.getObject(j, "workload_params", ctx);
+    return params && workloadParamsFromJson(imp, *params,
+                                            ctx + ".workload_params",
+                                            rec.cfg.workload);
+}
+
+bool
+stringList(Importer &imp, const Json &arr, const std::string &ctx,
+           std::vector<std::string> &out)
+{
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (!arr.at(i).isString())
+            return imp.fail(ctx + "[" + std::to_string(i) +
+                            "]: expected a string");
+        out.push_back(arr.at(i).asString());
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+resultsFromJson(const Json &doc, ExportMeta &meta,
+                std::vector<ResultRecord> &records, std::string *err)
+{
+    Importer imp;
+    meta = ExportMeta{};
+    records.clear();
+    const auto done = [&](bool ok) {
+        if (!ok && err)
+            *err = imp.err;
+        return ok;
+    };
+
+    if (!doc.isObject())
+        return done(imp.fail("document: expected a JSON object"));
+    std::uint64_t version = 0;
+    if (!imp.getU64(doc, "schema_version", "document", version))
+        return done(false);
+    if (version != std::uint64_t(kResultsSchemaVersion))
+        return done(imp.fail(
+            "unsupported schema_version " + std::to_string(version) +
+            " (expected " + std::to_string(kResultsSchemaVersion) +
+            ")"));
+    if (!imp.getString(doc, "generator", "document", meta.generator))
+        return done(false);
+
+    const Json *grid = imp.getObject(doc, "grid", "document");
+    if (!grid)
+        return done(false);
+    const Json *workloads = grid->find("workloads");
+    const Json *designs = grid->find("designs");
+    if (!workloads || !workloads->isArray())
+        return done(imp.fail("grid.workloads: expected an array"));
+    if (!designs || !designs->isArray())
+        return done(imp.fail("grid.designs: expected an array"));
+    if (!stringList(imp, *workloads, "grid.workloads",
+                    meta.workloads) ||
+        !stringList(imp, *designs, "grid.designs", meta.designs))
+        return done(false);
+    if (!imp.getNumber(*grid, "scale", "grid", meta.scale) ||
+        !imp.getU64(*grid, "seed", "grid", meta.seed) ||
+        !imp.getUnsigned(*grid, "jobs", "grid", meta.jobs))
+        return done(false);
+    if (grid->find("shard")) {
+        const Json *shard = imp.getObject(*grid, "shard", "grid");
+        if (!shard ||
+            !imp.getUnsigned(*shard, "index", "grid.shard",
+                             meta.shard_index) ||
+            !imp.getUnsigned(*shard, "count", "grid.shard",
+                             meta.shard_count))
+            return done(false);
+        if (meta.shard_count == 0 ||
+            meta.shard_index >= meta.shard_count)
+            return done(imp.fail(
+                "grid.shard: index " +
+                std::to_string(meta.shard_index) +
+                " out of range for count " +
+                std::to_string(meta.shard_count)));
+    }
+
+    const Json *results = doc.find("results");
+    if (!results || !results->isArray())
+        return done(imp.fail("document.results: expected an array"));
+    records.reserve(results->size());
+    for (std::size_t i = 0; i < results->size(); ++i) {
+        const std::string ctx = "results[" + std::to_string(i) + "]";
+        if (!results->at(i).isObject())
+            return done(imp.fail(ctx + ": expected an object"));
+        ResultRecord rec;
+        if (!resultRecordFromJson(imp, results->at(i), ctx, rec))
+            return done(false);
+        records.push_back(std::move(rec));
+    }
+    return done(true);
+}
+
+bool
+mergeResults(const std::vector<Json> &shards, Json &merged,
+             std::string *err)
+{
+    const auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        return false;
+    };
+    if (shards.empty())
+        return fail("no shard documents to merge");
+
+    ExportMeta meta;
+    std::vector<MmuDesign> grid_designs;
+    std::vector<std::optional<ResultRecord>> cells;
+    std::size_t design_count = 0;
+
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        const std::string who = "shard " + std::to_string(s);
+        ExportMeta m;
+        std::vector<ResultRecord> recs;
+        std::string e;
+        if (!resultsFromJson(shards[s], m, recs, &e))
+            return fail(who + ": " + e);
+
+        if (s == 0) {
+            meta = m;
+            design_count = m.designs.size();
+            for (const std::string &label : m.designs) {
+                MmuDesign d;
+                if (!tryParseDesign(label, d))
+                    return fail(who + ": grid design label '" + label +
+                                "' is not a known design");
+                if (std::find(grid_designs.begin(), grid_designs.end(),
+                              d) != grid_designs.end())
+                    return fail(who + ": grid lists design '" + label +
+                                "' more than once; cell identity is "
+                                "ambiguous");
+                grid_designs.push_back(d);
+            }
+            for (std::size_t w = 0; w < m.workloads.size(); ++w) {
+                if (std::find(m.workloads.begin(),
+                              m.workloads.begin() + long(w),
+                              m.workloads[w]) !=
+                    m.workloads.begin() + long(w))
+                    return fail(who + ": grid lists workload '" +
+                                m.workloads[w] +
+                                "' more than once; cell identity is "
+                                "ambiguous");
+            }
+            cells.assign(m.workloads.size() * design_count,
+                         std::nullopt);
+        } else {
+            if (m.generator != meta.generator)
+                return fail(who + ": generator '" + m.generator +
+                            "' differs from shard 0's '" +
+                            meta.generator + "'");
+            if (m.workloads != meta.workloads ||
+                m.designs != meta.designs)
+                return fail(who +
+                            ": grid axes differ from shard 0 (the "
+                            "shards were produced from different "
+                            "grids)");
+            if (m.scale != meta.scale)
+                return fail(who + ": workload scale differs from "
+                            "shard 0");
+            if (m.seed != meta.seed)
+                return fail(who + ": workload seed differs from "
+                            "shard 0");
+            if (m.shard_count != meta.shard_count)
+                return fail(who + ": shard count " +
+                            std::to_string(m.shard_count) +
+                            " differs from shard 0's " +
+                            std::to_string(meta.shard_count));
+        }
+
+        for (ResultRecord &rec : recs) {
+            const auto wit =
+                std::find(meta.workloads.begin(), meta.workloads.end(),
+                          rec.result.workload);
+            if (wit == meta.workloads.end())
+                return fail(who + ": result workload '" +
+                            rec.result.workload +
+                            "' is not in the grid");
+            const auto dit = std::find(grid_designs.begin(),
+                                       grid_designs.end(),
+                                       rec.cfg.design);
+            if (dit == grid_designs.end())
+                return fail(who + ": result design '" +
+                            std::string(designName(rec.cfg.design)) +
+                            "' is not in the grid");
+            const std::size_t idx =
+                std::size_t(wit - meta.workloads.begin()) *
+                    design_count +
+                std::size_t(dit - grid_designs.begin());
+            if (cells[idx])
+                return fail(who + ": duplicate cell " +
+                            rec.result.workload + " x " +
+                            designName(rec.cfg.design));
+            cells[idx] = std::move(rec);
+        }
+    }
+
+    std::vector<std::string> missing;
+    for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+        if (!cells[idx]) {
+            missing.push_back(
+                meta.workloads[idx / design_count] + " x " +
+                meta.designs[idx % design_count]);
+        }
+    }
+    if (!missing.empty()) {
+        std::string msg = std::to_string(missing.size()) +
+                          " missing cell(s):";
+        const std::size_t show =
+            std::min<std::size_t>(missing.size(), 8);
+        for (std::size_t i = 0; i < show; ++i)
+            msg += (i ? ", " : " ") + missing[i];
+        if (missing.size() > show)
+            msg += ", ...";
+        return fail(msg);
+    }
+
+    meta.shard_index = 0;
+    meta.shard_count = 1;
+    std::vector<ResultRecord> ordered;
+    ordered.reserve(cells.size());
+    for (auto &cell : cells)
+        ordered.push_back(std::move(*cell));
+    merged = resultsToJson(meta, ordered);
+    return true;
 }
 
 std::string

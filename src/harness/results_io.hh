@@ -121,11 +121,21 @@ struct ResultRecord
 struct ExportMeta
 {
     std::string generator = "gvc_sweep";
+    /** Full grid axes — not the shard subset — so shards can merge. */
     std::vector<std::string> workloads;
     std::vector<std::string> designs;
     double scale = 0.0;
     std::uint64_t seed = 0;
     unsigned jobs = 1;
+    /**
+     * Shard position when the grid was partitioned with `--shard I/N`
+     * (cells whose canonical grid index satisfies idx % N == I).  A
+     * shard_count of 1 means an unsharded document; the "shard" JSON
+     * object is only emitted when shard_count > 1, so unsharded
+     * exports are byte-identical to the pre-sharding schema.
+     */
+    unsigned shard_index = 0;
+    unsigned shard_count = 1;
 };
 
 /** Schema version stamped into every exported document. */
@@ -146,6 +156,34 @@ Json runResultToJson(const RunResult &r, const SocConfig *soc = nullptr);
 /** Full versioned results document. */
 Json resultsToJson(const ExportMeta &meta,
                    const std::vector<ResultRecord> &records);
+
+/**
+ * Rebuild an ExportMeta plus ResultRecords from a parsed results
+ * document — the inverse of resultsToJson().  Field-exact: every
+ * schema field must be present with the right type, and documents
+ * with an unknown schema_version are rejected outright.  Imported
+ * records carry the document's (effective) SocConfig with `raw_soc`
+ * set, so re-exporting them emits byte-identical "soc" objects.
+ * Returns false and stores a message in @p err on any mismatch.
+ */
+bool resultsFromJson(const Json &doc, ExportMeta &meta,
+                     std::vector<ResultRecord> &records,
+                     std::string *err = nullptr);
+
+/**
+ * Merge per-shard results documents (`gvc_sweep --shard I/N --json`)
+ * into one document in canonical grid order, byte-identical to the
+ * unsharded export of the same grid.  Validates every shard against
+ * the first: schema version (via resultsFromJson), generator, grid
+ * axes, scale, seed, and shard count must match, every grid label
+ * must be resolvable, and each (workload, design) cell must appear
+ * exactly once across all shards — duplicates and missing cells are
+ * reported by name.  `jobs` is taken from the first shard (worker
+ * count does not affect results).  Returns false and stores a message
+ * in @p err when the shards are not mergeable.
+ */
+bool mergeResults(const std::vector<Json> &shards, Json &merged,
+                  std::string *err = nullptr);
 
 /** CSV column header matching csvRow(). */
 std::string resultsCsvHeader();

@@ -36,8 +36,9 @@ unsigned
 defaultJobs()
 {
     if (const char *env = std::getenv("GVC_JOBS")) {
-        const long n = std::strtol(env, nullptr, 10);
-        if (n > 0)
+        char *end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && n > 0)
             return unsigned(n);
         warn("GVC_JOBS='" + std::string(env) +
              "' is not a positive integer; ignoring");

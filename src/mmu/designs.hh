@@ -49,6 +49,23 @@ designName(MmuDesign d)
     return "?";
 }
 
+/** designName() inverse; false when @p name is not a known label. */
+inline bool
+designFromName(const std::string &name, MmuDesign &out)
+{
+    for (const MmuDesign d :
+         {MmuDesign::kIdeal, MmuDesign::kBaseline512,
+          MmuDesign::kBaseline16K, MmuDesign::kBaselineLargeTlb,
+          MmuDesign::kVcNoOpt, MmuDesign::kVcOpt, MmuDesign::kL1Vc32,
+          MmuDesign::kL1Vc128}) {
+        if (name == designName(d)) {
+            out = d;
+            return true;
+        }
+    }
+    return false;
+}
+
 /** Specialize a base SocConfig for one design (Table 2). */
 inline SocConfig
 configFor(MmuDesign d, SocConfig cfg = {})

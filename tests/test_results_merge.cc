@@ -1,0 +1,581 @@
+/**
+ * @file
+ * Results import (resultsFromJson), shard merging (mergeResults), and
+ * the shared CLI helpers in harness/cli.hh: checked numeric parsing,
+ * shard-spec parsing, and the raw-mode design-intent carry-over that
+ * fixes the gvc_sweep design-collapse bug.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/cli.hh"
+#include "harness/results_io.hh"
+#include "harness/runner.hh"
+
+using namespace gvc;
+
+namespace
+{
+
+/**
+ * Fabricate one distinctive (config, result) cell.  Serialization is
+ * field-driven, so synthetic values exercise the round trip without
+ * running a simulation; @p salt makes every field value unique per
+ * cell, including u64 values beyond 2^53 to check lexeme exactness.
+ */
+ResultRecord
+makeRecord(const std::string &workload, MmuDesign design,
+           std::uint64_t salt)
+{
+    ResultRecord rec;
+    rec.cfg.design = design;
+    rec.cfg.workload.scale = 0.25;
+    rec.cfg.workload.seed = 0x5eed;
+    rec.result.workload = workload;
+    rec.result.design = design;
+    rec.result.exec_ticks = 0xdeadbeef00000000ull + salt;
+    rec.result.instructions = 7919 * salt + 13;
+    rec.result.mem_instructions = 997 * salt + 5;
+    rec.result.tlb_accesses = 401 * salt;
+    rec.result.tlb_misses = 31 * salt;
+    rec.result.iommu_accesses = 211 * salt + 1;
+    rec.result.page_walks = 17 * salt;
+    rec.result.l1_accesses = 1009 * salt + 2;
+    rec.result.l2_accesses = 503 * salt + 3;
+    rec.result.dram_accesses = 251 * salt + 4;
+    rec.result.dram_bytes = 16064 * salt + 256;
+    rec.result.lines_per_mem_inst = 1.25 + 0.001 * double(salt);
+    rec.result.tlb_miss_ratio = 0.0625 * double(salt % 3);
+    rec.result.iommu_apc_mean = 0.5 + 0.01 * double(salt);
+    rec.result.l1_hit_ratio = 0.75;
+    rec.result.l2_hit_ratio = 0.5;
+    rec.result.tlb_breakdown.miss_l1_hit = 3 * salt;
+    rec.result.tlb_breakdown.miss_l2_hit = 2 * salt;
+    rec.result.tlb_breakdown.miss_l2_miss = salt;
+    return rec;
+}
+
+/** The canonical 2x2 test grid: (alpha, beta) x (ideal, vc_opt). */
+ExportMeta
+testMeta()
+{
+    ExportMeta meta;
+    meta.workloads = {"alpha", "beta"};
+    meta.designs = {"ideal", "vc_opt"};
+    meta.scale = 0.25;
+    meta.seed = 0x5eed;
+    meta.jobs = 3;
+    return meta;
+}
+
+/** Records for the full test grid in canonical cell order. */
+std::vector<ResultRecord>
+testRecords()
+{
+    return {
+        makeRecord("alpha", MmuDesign::kIdeal, 1),
+        makeRecord("alpha", MmuDesign::kVcOpt, 2),
+        makeRecord("beta", MmuDesign::kIdeal, 3),
+        makeRecord("beta", MmuDesign::kVcOpt, 4),
+    };
+}
+
+/** Export the stripe of testRecords() with cell % count == index. */
+Json
+shardDoc(unsigned index, unsigned count)
+{
+    ExportMeta meta = testMeta();
+    meta.shard_index = index;
+    meta.shard_count = count;
+    const std::vector<ResultRecord> all = testRecords();
+    std::vector<ResultRecord> mine;
+    for (std::size_t i = 0; i < all.size(); ++i)
+        if (i % count == index)
+            mine.push_back(all[i]);
+    return resultsToJson(meta, mine);
+}
+
+Json
+reparse(const Json &doc)
+{
+    std::string err;
+    Json out = Json::parse(doc.dump(2), &err);
+    EXPECT_EQ(err, "");
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// resultsFromJson: round trip
+// ---------------------------------------------------------------------
+
+TEST(ResultsImport, RoundTripIsByteIdentical)
+{
+    const Json doc = resultsToJson(testMeta(), testRecords());
+    const std::string dumped = doc.dump(2);
+
+    ExportMeta meta;
+    std::vector<ResultRecord> records;
+    std::string err;
+    ASSERT_TRUE(resultsFromJson(reparse(doc), meta, records, &err))
+        << err;
+
+    // Re-exporting the imported records must reproduce every byte,
+    // which covers every field of every record at once.
+    EXPECT_EQ(resultsToJson(meta, records).dump(2), dumped);
+}
+
+TEST(ResultsImport, RoundTripRestoresEveryField)
+{
+    ExportMeta meta;
+    std::vector<ResultRecord> records;
+    std::string err;
+    ASSERT_TRUE(resultsFromJson(reparse(resultsToJson(
+                                    testMeta(), testRecords())),
+                                meta, records, &err))
+        << err;
+
+    EXPECT_EQ(meta.generator, "gvc_sweep");
+    EXPECT_EQ(meta.workloads,
+              (std::vector<std::string>{"alpha", "beta"}));
+    EXPECT_EQ(meta.designs,
+              (std::vector<std::string>{"ideal", "vc_opt"}));
+    EXPECT_DOUBLE_EQ(meta.scale, 0.25);
+    EXPECT_EQ(meta.seed, 0x5eedu);
+    EXPECT_EQ(meta.jobs, 3u);
+    EXPECT_EQ(meta.shard_index, 0u);
+    EXPECT_EQ(meta.shard_count, 1u);
+
+    ASSERT_EQ(records.size(), 4u);
+    const ResultRecord want = makeRecord("beta", MmuDesign::kIdeal, 3);
+    const ResultRecord &got = records[2];
+    EXPECT_EQ(got.result.workload, "beta");
+    EXPECT_EQ(got.result.design, MmuDesign::kIdeal);
+    EXPECT_EQ(got.cfg.design, MmuDesign::kIdeal);
+    EXPECT_EQ(got.result.exec_ticks, want.result.exec_ticks);
+    EXPECT_EQ(got.result.instructions, want.result.instructions);
+    EXPECT_EQ(got.result.dram_bytes, want.result.dram_bytes);
+    EXPECT_DOUBLE_EQ(got.result.lines_per_mem_inst,
+                     want.result.lines_per_mem_inst);
+    EXPECT_DOUBLE_EQ(got.result.iommu_apc_mean,
+                     want.result.iommu_apc_mean);
+    EXPECT_EQ(got.result.tlb_breakdown.miss_l2_miss,
+              want.result.tlb_breakdown.miss_l2_miss);
+    EXPECT_DOUBLE_EQ(got.cfg.workload.scale, want.cfg.workload.scale);
+    EXPECT_EQ(got.cfg.workload.seed, want.cfg.workload.seed);
+    // The document stores the effective SocConfig, so imported
+    // records are raw and reproduce it verbatim on re-export.
+    EXPECT_TRUE(got.cfg.raw_soc);
+    const SocConfig effective = configFor(MmuDesign::kIdeal, {});
+    EXPECT_TRUE(got.cfg.soc.percu_tlb_infinite);
+    EXPECT_TRUE(got.cfg.soc.iommu.tlb_infinite);
+    EXPECT_TRUE(got.cfg.soc.iommu.unlimited_bw);
+    EXPECT_EQ(got.cfg.soc.iommu.tlb_entries,
+              effective.iommu.tlb_entries);
+}
+
+TEST(ResultsImport, ShardMetadataRoundTrips)
+{
+    const Json doc = shardDoc(1, 3);
+    ASSERT_NE(doc.find("grid")->find("shard"), nullptr);
+
+    ExportMeta meta;
+    std::vector<ResultRecord> records;
+    std::string err;
+    ASSERT_TRUE(resultsFromJson(reparse(doc), meta, records, &err))
+        << err;
+    EXPECT_EQ(meta.shard_index, 1u);
+    EXPECT_EQ(meta.shard_count, 3u);
+    EXPECT_EQ(resultsToJson(meta, records).dump(2), doc.dump(2));
+
+    // Unsharded exports must not grow a "shard" member (schema
+    // stability: pre-sharding documents stay byte-identical).
+    const Json plain = resultsToJson(testMeta(), testRecords());
+    EXPECT_EQ(plain.find("grid")->find("shard"), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// resultsFromJson: rejection paths
+// ---------------------------------------------------------------------
+
+TEST(ResultsImport, RejectsUnknownSchemaVersion)
+{
+    Json doc = resultsToJson(testMeta(), testRecords());
+    doc.set("schema_version", 99);
+
+    ExportMeta meta;
+    std::vector<ResultRecord> records;
+    std::string err;
+    EXPECT_FALSE(resultsFromJson(doc, meta, records, &err));
+    EXPECT_NE(err.find("schema_version"), std::string::npos) << err;
+}
+
+TEST(ResultsImport, RejectsMissingField)
+{
+    std::string text = resultsToJson(testMeta(), testRecords()).dump(2);
+    // Renaming a field makes it both missing (required) and unknown
+    // (ignored) in one edit.
+    const std::string from = "\"exec_ticks\"";
+    std::size_t pos;
+    while ((pos = text.find(from)) != std::string::npos)
+        text.replace(pos, from.size(), "\"exec_ticksX\"");
+
+    std::string err;
+    const Json doc = Json::parse(text, &err);
+    ASSERT_EQ(err, "");
+
+    ExportMeta meta;
+    std::vector<ResultRecord> records;
+    EXPECT_FALSE(resultsFromJson(doc, meta, records, &err));
+    EXPECT_NE(err.find("exec_ticks"), std::string::npos) << err;
+}
+
+TEST(ResultsImport, RejectsInvalidShardPosition)
+{
+    // index >= count is an impossible shard position.
+    std::string text = shardDoc(0, 2).dump(2);
+    const std::string idx = "\"index\": 0";
+    const std::size_t pos = text.find(idx);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, idx.size(), "\"index\": 2");
+
+    std::string err;
+    const Json doc = Json::parse(text, &err);
+    ASSERT_EQ(err, "");
+    ExportMeta meta;
+    std::vector<ResultRecord> records;
+    EXPECT_FALSE(resultsFromJson(doc, meta, records, &err));
+    EXPECT_NE(err.find("shard"), std::string::npos) << err;
+}
+
+TEST(ResultsImport, RejectsNonObjectAndTruncatedDocuments)
+{
+    ExportMeta meta;
+    std::vector<ResultRecord> records;
+    std::string err;
+    EXPECT_FALSE(resultsFromJson(Json(), meta, records, &err));
+    EXPECT_FALSE(err.empty());
+
+    // Truncated text fails at the parser, before import.
+    const std::string text =
+        resultsToJson(testMeta(), testRecords()).dump(2);
+    err.clear();
+    const Json doc = Json::parse(text.substr(0, text.size() / 2), &err);
+    EXPECT_TRUE(doc.isNull());
+    EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------------
+// mergeResults
+// ---------------------------------------------------------------------
+
+TEST(MergeResults, ShardsMergeByteIdenticalToUnsharded)
+{
+    const std::string unsharded =
+        resultsToJson(testMeta(), testRecords()).dump(2);
+
+    Json merged;
+    std::string err;
+    ASSERT_TRUE(mergeResults({shardDoc(0, 2), shardDoc(1, 2)}, merged,
+                             &err))
+        << err;
+    EXPECT_EQ(merged.dump(2), unsharded);
+
+    // Shard file order must not matter.
+    ASSERT_TRUE(mergeResults({shardDoc(1, 2), shardDoc(0, 2)}, merged,
+                             &err))
+        << err;
+    EXPECT_EQ(merged.dump(2), unsharded);
+
+    // Single "shard" covering the whole grid merges to itself.
+    ASSERT_TRUE(mergeResults({resultsToJson(testMeta(),
+                                            testRecords())},
+                             merged, &err))
+        << err;
+    EXPECT_EQ(merged.dump(2), unsharded);
+}
+
+TEST(MergeResults, DetectsDuplicateCells)
+{
+    Json merged;
+    std::string err;
+    EXPECT_FALSE(mergeResults({shardDoc(0, 2), shardDoc(0, 2)}, merged,
+                              &err));
+    EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+}
+
+TEST(MergeResults, DetectsMissingCells)
+{
+    Json merged;
+    std::string err;
+    EXPECT_FALSE(mergeResults({shardDoc(0, 2)}, merged, &err));
+    EXPECT_NE(err.find("missing"), std::string::npos) << err;
+    // The missing cells are the odd-indexed ones, named by workload.
+    EXPECT_NE(err.find("alpha"), std::string::npos) << err;
+}
+
+TEST(MergeResults, RejectsIncompatibleShards)
+{
+    Json merged;
+    std::string err;
+
+    // Different workload axis.
+    {
+        Json other = shardDoc(1, 2);
+        Json grid = *other.find("grid");
+        Json workloads = Json::array();
+        workloads.push(Json("alpha"));
+        workloads.push(Json("gamma"));
+        grid.set("workloads", std::move(workloads));
+        other.set("grid", std::move(grid));
+        EXPECT_FALSE(mergeResults({shardDoc(0, 2), other}, merged,
+                                  &err));
+        EXPECT_NE(err.find("grid axes"), std::string::npos) << err;
+    }
+    // Different scale.
+    {
+        Json other = shardDoc(1, 2);
+        Json grid = *other.find("grid");
+        grid.set("scale", 0.5);
+        other.set("grid", std::move(grid));
+        EXPECT_FALSE(mergeResults({shardDoc(0, 2), other}, merged,
+                                  &err));
+        EXPECT_NE(err.find("scale"), std::string::npos) << err;
+    }
+    // Different seed.
+    {
+        Json other = shardDoc(1, 2);
+        Json grid = *other.find("grid");
+        grid.set("seed", std::uint64_t(99));
+        other.set("grid", std::move(grid));
+        EXPECT_FALSE(mergeResults({shardDoc(0, 2), other}, merged,
+                                  &err));
+        EXPECT_NE(err.find("seed"), std::string::npos) << err;
+    }
+    // Different shard count.
+    {
+        EXPECT_FALSE(mergeResults({shardDoc(0, 3), shardDoc(1, 2)},
+                                  merged, &err));
+        EXPECT_NE(err.find("shard"), std::string::npos) << err;
+    }
+}
+
+TEST(MergeResults, RejectsEmptyAndBrokenInputs)
+{
+    Json merged;
+    std::string err;
+    EXPECT_FALSE(mergeResults({}, merged, &err));
+    EXPECT_FALSE(err.empty());
+
+    Json broken = shardDoc(0, 2);
+    broken.set("schema_version", 99);
+    EXPECT_FALSE(mergeResults({broken, shardDoc(1, 2)}, merged, &err));
+    EXPECT_NE(err.find("schema_version"), std::string::npos) << err;
+
+    // Ambiguous design labels (two spellings of the same design)
+    // make cell identity undecidable.
+    Json ambiguous = resultsToJson(
+        [] {
+            ExportMeta m = testMeta();
+            m.designs = {"vc", "vc_noopt"};
+            return m;
+        }(),
+        {makeRecord("alpha", MmuDesign::kVcNoOpt, 1),
+         makeRecord("beta", MmuDesign::kVcNoOpt, 2)});
+    EXPECT_FALSE(mergeResults({ambiguous}, merged, &err));
+    EXPECT_NE(err.find("ambiguous"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------
+// Raw-mode design-intent carry-over (the gvc_sweep collapse fix)
+// ---------------------------------------------------------------------
+
+TEST(RawDesignIntent, CarriesStructuralIdentityPerDesign)
+{
+    RawSocOverrides user;
+    user.percu_tlb_entries = true;
+
+    auto rawCfg = [&](MmuDesign d) {
+        RunConfig cfg;
+        cfg.design = d;
+        cfg.raw_soc = true;
+        cfg.soc.percu_tlb_entries = 64; // the user's --percu-tlb 64
+        applyRawDesignIntent(cfg, user);
+        return cfg;
+    };
+
+    const RunConfig ideal = rawCfg(MmuDesign::kIdeal);
+    EXPECT_TRUE(ideal.soc.percu_tlb_infinite);
+    EXPECT_TRUE(ideal.soc.iommu.tlb_infinite);
+    EXPECT_TRUE(ideal.soc.iommu.unlimited_bw);
+
+    const RunConfig base512 = rawCfg(MmuDesign::kBaseline512);
+    EXPECT_EQ(base512.soc.percu_tlb_entries, 64u); // user's, kept
+    EXPECT_EQ(base512.soc.iommu.tlb_entries, 512u);
+    EXPECT_FALSE(base512.soc.percu_tlb_infinite);
+    EXPECT_FALSE(base512.soc.fbt_as_second_level_tlb);
+
+    const RunConfig vcopt = rawCfg(MmuDesign::kVcOpt);
+    EXPECT_TRUE(vcopt.soc.fbt_as_second_level_tlb);
+    EXPECT_EQ(vcopt.soc.iommu.tlb_entries, 512u);
+
+    const RunConfig large = rawCfg(MmuDesign::kBaselineLargeTlb);
+    EXPECT_EQ(large.soc.percu_tlb_entries, 64u); // user's, kept
+    EXPECT_EQ(large.soc.iommu.tlb_entries, 16u * 1024u);
+}
+
+TEST(RawDesignIntent, ExplicitDefaultValuedFlagIsPreserved)
+{
+    // The old sentinel comparison (value == struct default) silently
+    // replaced an explicit `--iommu-tlb 512` with the design's size
+    // because 512 is also IommuParams's default.  Tracking "the user
+    // set this" fixes that.
+    RunConfig cfg;
+    cfg.design = MmuDesign::kBaseline16K;
+    cfg.raw_soc = true;
+    cfg.soc.iommu.tlb_entries = 512; // explicit, equals the default
+    RawSocOverrides user;
+    user.iommu_tlb_entries = true;
+    applyRawDesignIntent(cfg, user);
+    EXPECT_EQ(cfg.soc.iommu.tlb_entries, 512u);
+
+    // Without the explicit flag the design's size wins.
+    RunConfig cfg2;
+    cfg2.design = MmuDesign::kBaseline16K;
+    cfg2.raw_soc = true;
+    cfg2.soc.fbt.entries = 8192;
+    RawSocOverrides user2;
+    user2.fbt_entries = true;
+    applyRawDesignIntent(cfg2, user2);
+    EXPECT_EQ(cfg2.soc.iommu.tlb_entries, 16u * 1024u);
+    EXPECT_EQ(cfg2.soc.fbt.entries, 8192u);
+
+    // baseline-large-tlb gets its 128-entry per-CU TLB when the user
+    // did not override it (the old carry-over never touched it).
+    RunConfig cfg3;
+    cfg3.design = MmuDesign::kBaselineLargeTlb;
+    cfg3.raw_soc = true;
+    applyRawDesignIntent(cfg3, RawSocOverrides{});
+    EXPECT_EQ(cfg3.soc.percu_tlb_entries, 128u);
+}
+
+TEST(RawDesignIntent, NoOpOutsideRawMode)
+{
+    RunConfig cfg;
+    cfg.design = MmuDesign::kIdeal;
+    cfg.soc.percu_tlb_entries = 64;
+    RawSocOverrides user;
+    user.percu_tlb_entries = true;
+    applyRawDesignIntent(cfg, user);
+    EXPECT_FALSE(cfg.soc.percu_tlb_infinite);
+    EXPECT_EQ(cfg.soc.percu_tlb_entries, 64u);
+}
+
+/**
+ * Regression for the design-collapse bug: a raw sweep (`--percu-tlb
+ * 64`) must still produce different results for different designs.
+ * Before the fix every cell simulated the same SoC.
+ */
+TEST(RawDesignIntent, RawSweepStillDistinguishesDesigns)
+{
+    RawSocOverrides user;
+    user.percu_tlb_entries = true;
+
+    std::vector<Tick> ticks;
+    for (const MmuDesign d :
+         {MmuDesign::kIdeal, MmuDesign::kBaseline512,
+          MmuDesign::kVcOpt}) {
+        RunConfig cfg;
+        cfg.design = d;
+        cfg.raw_soc = true;
+        cfg.soc.percu_tlb_entries = 64;
+        cfg.workload.scale = 0.05;
+        applyRawDesignIntent(cfg, user);
+        ticks.push_back(runWorkload("hotspot", cfg).exec_ticks);
+    }
+    EXPECT_NE(ticks[0], ticks[1]);
+    EXPECT_NE(ticks[0], ticks[2]);
+    EXPECT_NE(ticks[1], ticks[2]);
+}
+
+// ---------------------------------------------------------------------
+// Checked CLI parsing
+// ---------------------------------------------------------------------
+
+TEST(CliParse, AcceptsWellFormedNumbers)
+{
+    EXPECT_EQ(parseU64("--seed", "0"), 0u);
+    EXPECT_EQ(parseU64("--seed", "18446744073709551615"),
+              0xffffffffffffffffull);
+    EXPECT_EQ(parseUnsigned("--cus", "16"), 16u);
+    EXPECT_EQ(parseUnsigned("--cus", "4294967295"), 0xffffffffu);
+    EXPECT_DOUBLE_EQ(parseDouble("--scale", "0.5"), 0.5);
+    EXPECT_DOUBLE_EQ(parseDouble("--scale", "2e-3"), 0.002);
+}
+
+using CliParseDeath = ::testing::Test;
+
+TEST(CliParseDeath, RejectsMalformedNumbers)
+{
+    EXPECT_DEATH(parseU64("--seed", "12ab"), "--seed");
+    EXPECT_DEATH(parseU64("--seed", "-1"), "--seed");
+    EXPECT_DEATH(parseU64("--seed", ""), "--seed");
+    EXPECT_DEATH(parseU64("--seed", "18446744073709551616"), "--seed");
+    EXPECT_DEATH(parseUnsigned("--cus", "-4"), "--cus");
+    EXPECT_DEATH(parseUnsigned("--cus", "4294967296"), "out of range");
+    EXPECT_DEATH(parseDouble("--scale", "fast"), "--scale");
+    EXPECT_DEATH(parseDouble("--scale", ""), "--scale");
+    EXPECT_DEATH(parseDouble("--scale", "1.5x"), "--scale");
+    EXPECT_DEATH(parseDouble("--scale", "inf"), "--scale");
+}
+
+TEST(CliParse, ShardSpecs)
+{
+    ShardSpec s;
+    std::string err;
+    ASSERT_TRUE(parseShardSpec("0/1", s, &err)) << err;
+    EXPECT_EQ(s.index, 0u);
+    EXPECT_EQ(s.count, 1u);
+    ASSERT_TRUE(parseShardSpec("3/4", s, &err)) << err;
+    EXPECT_EQ(s.index, 3u);
+    EXPECT_EQ(s.count, 4u);
+
+    for (const char *bad :
+         {"", "1", "/2", "1/", "2/2", "4/3", "1/0", "a/b", "-1/2",
+          "1/2/3", "0x1/2"}) {
+        EXPECT_FALSE(parseShardSpec(bad, s, &err))
+            << "accepted '" << bad << "'";
+        EXPECT_FALSE(err.empty());
+    }
+}
+
+TEST(CliParse, DesignSpellings)
+{
+    MmuDesign d;
+    EXPECT_TRUE(tryParseDesign("vc-opt", d));
+    EXPECT_EQ(d, MmuDesign::kVcOpt);
+    EXPECT_TRUE(tryParseDesign("vc_opt", d));
+    EXPECT_EQ(d, MmuDesign::kVcOpt);
+    EXPECT_TRUE(tryParseDesign("Baseline512", d));
+    EXPECT_EQ(d, MmuDesign::kBaseline512);
+    EXPECT_TRUE(tryParseDesign("baseline-large-tlb", d));
+    EXPECT_EQ(d, MmuDesign::kBaselineLargeTlb);
+    EXPECT_FALSE(tryParseDesign("warp-drive", d));
+
+    // The canonical display names reverse back to the enum (used by
+    // the importer to recover each record's design).
+    for (const MmuDesign want :
+         {MmuDesign::kIdeal, MmuDesign::kBaseline512,
+          MmuDesign::kVcOpt, MmuDesign::kL1Vc128}) {
+        MmuDesign got;
+        ASSERT_TRUE(designFromName(designName(want), got));
+        EXPECT_EQ(got, want);
+    }
+    MmuDesign got;
+    EXPECT_FALSE(designFromName("No Such Design", got));
+}

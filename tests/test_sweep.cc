@@ -377,5 +377,19 @@ TEST(Sweep, DefaultJobsHonoursEnvironment)
     EXPECT_GE(defaultJobs(), 1u);
 }
 
+TEST(Sweep, DefaultJobsIgnoresMalformedEnvironment)
+{
+    unsetenv("GVC_JOBS");
+    const unsigned fallback = defaultJobs();
+    // strtol would happily return 99999 from "99999abc"; the checked
+    // parse must reject the trailing garbage and fall back.
+    for (const char *bad : {"99999abc", "abc", "-2", "0", ""}) {
+        setenv("GVC_JOBS", bad, 1);
+        EXPECT_EQ(defaultJobs(), fallback) << "GVC_JOBS='" << bad
+                                           << "'";
+    }
+    unsetenv("GVC_JOBS");
+}
+
 } // namespace
 } // namespace gvc

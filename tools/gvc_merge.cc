@@ -1,0 +1,116 @@
+/**
+ * @file
+ * gvc_merge — combine per-shard gvc_sweep JSON exports into one
+ * results document in canonical grid order.
+ *
+ *   gvc_sweep -w all -d all --shard 0/2 --json s0.json    # host A
+ *   gvc_sweep -w all -d all --shard 1/2 --json s1.json    # host B
+ *   gvc_merge s0.json s1.json -o merged.json
+ *
+ * Shards must come from the same grid (schema version, workload and
+ * design axes, scale, seed, shard count); duplicate or missing cells
+ * are rejected by name.  The merged document is byte-identical to the
+ * unsharded `gvc_sweep --json` export of the same grid.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/results_io.hh"
+#include "sim/logging.hh"
+
+using namespace gvc;
+
+namespace
+{
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: gvc_merge [options] SHARD.json [SHARD.json ...]\n"
+        "  -o, --out PATH          merged JSON output (default: '-',\n"
+        "                          stdout)\n"
+        "      --help              this text\n");
+    std::exit(code);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open shard file '" + path + "'");
+    std::ostringstream os;
+    os << is.rdbuf();
+    if (!is.good() && !is.eof())
+        fatal("failed reading shard file '" + path + "'");
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> inputs;
+    std::string out_path = "-";
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(1);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h")
+            usage(0);
+        else if (a == "-o" || a == "--out")
+            out_path = need(i);
+        else if (!a.empty() && a[0] == '-' && a != "-") {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(1);
+        } else {
+            inputs.push_back(a);
+        }
+    }
+    if (inputs.empty())
+        fatal("no shard files given (try --help)");
+
+    std::vector<Json> shards;
+    shards.reserve(inputs.size());
+    for (const std::string &path : inputs) {
+        std::string err;
+        Json doc = Json::parse(readFile(path), &err);
+        if (!err.empty())
+            fatal("'" + path + "': invalid JSON: " + err);
+        shards.push_back(std::move(doc));
+    }
+
+    Json merged;
+    std::string err;
+    if (!mergeResults(shards, merged, &err))
+        fatal(err);
+
+    const std::string doc = merged.dump(2) + "\n";
+    if (out_path == "-") {
+        std::fwrite(doc.data(), 1, doc.size(), stdout);
+    } else {
+        std::ofstream os(out_path, std::ios::binary);
+        if (!os)
+            fatal("cannot open output file '" + out_path + "'");
+        os << doc;
+        if (!os)
+            fatal("failed writing merged results to '" + out_path +
+                  "'");
+    }
+    std::fprintf(stderr,
+                 "[gvc_merge] merged %zu shard%s, %zu cells -> %s\n",
+                 shards.size(), shards.size() == 1 ? "" : "s",
+                 merged.find("results")->size(), out_path.c_str());
+    return 0;
+}

@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "harness/cli.hh"
 #include "harness/energy.hh"
 #include "harness/results_io.hh"
 #include "harness/runner.hh"
@@ -30,6 +31,7 @@ struct Options
     std::string workload = "pagerank";
     std::string design = "vc-opt";
     RunConfig cfg;
+    RawSocOverrides raw_set; ///< Raw fields set explicitly by the user.
     std::string trace_out; ///< Capture the run into this trace file.
     std::string json_out;  ///< Emit the RunResult as JSON (path or -).
     bool dump_stats = false;
@@ -63,28 +65,6 @@ usage(int code)
     std::exit(code);
 }
 
-MmuDesign
-parseDesign(const std::string &name)
-{
-    if (name == "ideal")
-        return MmuDesign::kIdeal;
-    if (name == "baseline-512")
-        return MmuDesign::kBaseline512;
-    if (name == "baseline-16k")
-        return MmuDesign::kBaseline16K;
-    if (name == "baseline-large-tlb")
-        return MmuDesign::kBaselineLargeTlb;
-    if (name == "vc")
-        return MmuDesign::kVcNoOpt;
-    if (name == "vc-opt")
-        return MmuDesign::kVcOpt;
-    if (name == "l1vc-32")
-        return MmuDesign::kL1Vc32;
-    if (name == "l1vc-128")
-        return MmuDesign::kL1Vc128;
-    fatal("unknown design '" + name + "' (try --help)");
-}
-
 Options
 parse(int argc, char **argv)
 {
@@ -112,29 +92,35 @@ parse(int argc, char **argv)
         } else if (a == "-d" || a == "--design") {
             opt.design = need(i);
         } else if (a == "--scale") {
-            opt.cfg.workload.scale = std::atof(need(i));
+            opt.cfg.workload.scale = parseDouble("--scale", need(i));
         } else if (a == "--seed") {
-            opt.cfg.workload.seed = std::strtoull(need(i), nullptr, 10);
+            opt.cfg.workload.seed = parseU64("--seed", need(i));
         } else if (a == "--percu-tlb") {
             opt.cfg.soc.percu_tlb_entries =
-                unsigned(std::atoi(need(i)));
+                parseUnsigned("--percu-tlb", need(i));
+            opt.raw_set.percu_tlb_entries = true;
             opt.cfg.raw_soc = true;
         } else if (a == "--iommu-tlb") {
             opt.cfg.soc.iommu.tlb_entries =
-                unsigned(std::atoi(need(i)));
+                parseUnsigned("--iommu-tlb", need(i));
+            opt.raw_set.iommu_tlb_entries = true;
             opt.cfg.raw_soc = true;
         } else if (a == "--iommu-bw") {
-            opt.cfg.soc.iommu.accesses_per_cycle = std::atof(need(i));
+            opt.cfg.soc.iommu.accesses_per_cycle =
+                parseDouble("--iommu-bw", need(i));
         } else if (a == "--iommu-banks") {
-            opt.cfg.soc.iommu.banks = unsigned(std::atoi(need(i)));
+            opt.cfg.soc.iommu.banks =
+                parseUnsigned("--iommu-banks", need(i));
         } else if (a == "--fbt-entries") {
-            opt.cfg.soc.fbt.entries = unsigned(std::atoi(need(i)));
+            opt.cfg.soc.fbt.entries =
+                parseUnsigned("--fbt-entries", need(i));
+            opt.raw_set.fbt_entries = true;
             opt.cfg.raw_soc = true;
         } else if (a == "--remap-entries") {
             opt.cfg.soc.synonym_remap_entries =
-                unsigned(std::atoi(need(i)));
+                parseUnsigned("--remap-entries", need(i));
         } else if (a == "--cus") {
-            opt.cfg.soc.gpu.num_cus = unsigned(std::atoi(need(i)));
+            opt.cfg.soc.gpu.num_cus = parseUnsigned("--cus", need(i));
         } else if (a == "--trace-out") {
             opt.trace_out = need(i);
         } else if (a == "--trace-in") {
@@ -147,20 +133,7 @@ parse(int argc, char **argv)
         }
     }
     opt.cfg.design = parseDesign(opt.design);
-    if (opt.cfg.raw_soc) {
-        // Raw mode skips configFor(): carry over the design's
-        // structural intent for the bits the user did not override.
-        SocConfig defaults = configFor(opt.cfg.design, {});
-        if (opt.cfg.soc.iommu.tlb_entries == IommuParams{}.tlb_entries)
-            opt.cfg.soc.iommu.tlb_entries = defaults.iommu.tlb_entries;
-        opt.cfg.soc.fbt_as_second_level_tlb =
-            defaults.fbt_as_second_level_tlb;
-        opt.cfg.soc.percu_tlb_infinite = defaults.percu_tlb_infinite;
-        opt.cfg.soc.iommu.tlb_infinite = defaults.iommu.tlb_infinite;
-        opt.cfg.soc.iommu.unlimited_bw =
-            opt.cfg.soc.iommu.unlimited_bw ||
-            defaults.iommu.unlimited_bw;
-    }
+    applyRawDesignIntent(opt.cfg, opt.raw_set);
     return opt;
 }
 

@@ -9,12 +9,17 @@
  *   gvc_sweep --workloads all --designs all --csv grid.csv
  *   gvc_sweep -w high-bw -d vc_opt,ideal --scale 0.25 --json -
  *
+ * Multi-machine sharding: `--shard I/N` deterministically keeps the
+ * grid cells whose canonical (workload-major, design-minor) index
+ * satisfies idx % N == I, and stamps the shard position into the JSON
+ * export.  Run every shard (any host, any order), then combine the
+ * per-shard JSON files with `gvc_merge` — the merged document is
+ * byte-identical to an unsharded run of the full grid.
+ *
  * Design names accept both the gvc_run spelling (vc-opt) and
  * underscore/concatenated forms (vc_opt, baseline512).
  */
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/cli.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
 
@@ -37,6 +43,8 @@ struct Options
     std::vector<MmuDesign> designs;
     std::vector<std::string> design_labels;
     RunConfig base;
+    RawSocOverrides raw_set; ///< Raw fields the user set explicitly.
+    ShardSpec shard;
     unsigned jobs = 0; ///< 0 = defaultJobs().
     std::string json_path;
     std::string csv_path;
@@ -58,6 +66,9 @@ usage(int code)
         "      --seed N            workload RNG seed\n"
         "  -j, --jobs N            worker threads (default: GVC_JOBS or\n"
         "                          hardware concurrency)\n"
+        "      --shard I/N         run grid cells with index %% N == I\n"
+        "                          (0 <= I < N); merge the per-shard\n"
+        "                          JSON exports with gvc_merge\n"
         "      --json PATH         write JSON results ('-' = stdout)\n"
         "      --csv PATH          write CSV results ('-' = stdout)\n"
         "      --iommu-bw F        shared TLB accesses/cycle override\n"
@@ -73,46 +84,6 @@ usage(int code)
         "      --list              list workloads and designs, exit\n"
         "      --help              this text\n");
     std::exit(code);
-}
-
-/** Canonical design spelling: lowercase with '-'/'_' removed. */
-std::string
-canonDesign(const std::string &name)
-{
-    std::string out;
-    for (const char c : name) {
-        if (c == '-' || c == '_')
-            continue;
-        out += char(std::tolower(static_cast<unsigned char>(c)));
-    }
-    return out;
-}
-
-const std::vector<std::pair<const char *, MmuDesign>> &
-designSpellings()
-{
-    static const std::vector<std::pair<const char *, MmuDesign>> map = {
-        {"ideal", MmuDesign::kIdeal},
-        {"baseline512", MmuDesign::kBaseline512},
-        {"baseline16k", MmuDesign::kBaseline16K},
-        {"baselinelargetlb", MmuDesign::kBaselineLargeTlb},
-        {"vc", MmuDesign::kVcNoOpt},
-        {"vcnoopt", MmuDesign::kVcNoOpt},
-        {"vcopt", MmuDesign::kVcOpt},
-        {"l1vc32", MmuDesign::kL1Vc32},
-        {"l1vc128", MmuDesign::kL1Vc128},
-    };
-    return map;
-}
-
-MmuDesign
-parseDesign(const std::string &name)
-{
-    const std::string canon = canonDesign(name);
-    for (const auto &[spelling, design] : designSpellings())
-        if (canon == spelling)
-            return design;
-    fatal("unknown design '" + name + "' (try --list)");
 }
 
 std::vector<std::string>
@@ -160,32 +131,39 @@ parse(int argc, char **argv)
         } else if (a == "-d" || a == "--designs") {
             designs_spec = need(i);
         } else if (a == "--scale") {
-            opt.base.workload.scale = std::atof(need(i));
+            opt.base.workload.scale = parseDouble("--scale", need(i));
         } else if (a == "--seed") {
-            opt.base.workload.seed =
-                std::strtoull(need(i), nullptr, 10);
+            opt.base.workload.seed = parseU64("--seed", need(i));
         } else if (a == "-j" || a == "--jobs") {
-            opt.jobs = unsigned(std::atoi(need(i)));
+            opt.jobs = parseUnsigned("--jobs", need(i));
+        } else if (a == "--shard") {
+            std::string err;
+            if (!parseShardSpec(need(i), opt.shard, &err))
+                fatal("--shard: " + err);
         } else if (a == "--json") {
             opt.json_path = need(i);
         } else if (a == "--csv") {
             opt.csv_path = need(i);
         } else if (a == "--iommu-bw") {
             opt.base.soc.iommu.accesses_per_cycle =
-                std::atof(need(i));
+                parseDouble("--iommu-bw", need(i));
         } else if (a == "--iommu-tlb") {
             opt.base.soc.iommu.tlb_entries =
-                unsigned(std::atoi(need(i)));
+                parseUnsigned("--iommu-tlb", need(i));
+            opt.raw_set.iommu_tlb_entries = true;
             opt.base.raw_soc = true;
         } else if (a == "--percu-tlb") {
             opt.base.soc.percu_tlb_entries =
-                unsigned(std::atoi(need(i)));
+                parseUnsigned("--percu-tlb", need(i));
+            opt.raw_set.percu_tlb_entries = true;
             opt.base.raw_soc = true;
         } else if (a == "--fbt-entries") {
-            opt.base.soc.fbt.entries = unsigned(std::atoi(need(i)));
+            opt.base.soc.fbt.entries =
+                parseUnsigned("--fbt-entries", need(i));
+            opt.raw_set.fbt_entries = true;
             opt.base.raw_soc = true;
         } else if (a == "--cus") {
-            opt.base.soc.gpu.num_cus = unsigned(std::atoi(need(i)));
+            opt.base.soc.gpu.num_cus = parseUnsigned("--cus", need(i));
         } else if (a == "--live") {
             opt.live = true;
         } else if (a == "--no-table") {
@@ -256,7 +234,24 @@ main(int argc, char **argv)
         sweep.setProgress(false);
     if (opt.live)
         sweep.setCapture(false);
-    sweep.addGrid(opt.workloads, opt.designs, opt.base);
+
+    // Expand the grid in canonical order (workload-major, design-
+    // minor), carry each design's structural intent into raw-mode
+    // cells, and keep only this shard's stripe of the cell indices.
+    std::size_t cell = 0;
+    for (const auto &w : opt.workloads) {
+        for (const MmuDesign d : opt.designs) {
+            const bool mine =
+                cell % opt.shard.count == opt.shard.index;
+            ++cell;
+            if (!mine)
+                continue;
+            RunConfig cfg = opt.base;
+            cfg.design = d;
+            applyRawDesignIntent(cfg, opt.raw_set);
+            sweep.add(w, cfg);
+        }
+    }
     sweep.run();
 
     if (opt.print_table) {
@@ -275,6 +270,10 @@ main(int argc, char **argv)
                     "worker threads\n",
                     sweep.size(), sweep.uniqueRuns(),
                     sweep.size() - sweep.uniqueRuns(), sweep.jobs());
+        if (opt.shard.count > 1) {
+            std::printf("shard %u/%u of a %zu-cell grid\n",
+                        opt.shard.index, opt.shard.count, cell);
+        }
     }
 
     if (!opt.json_path.empty() || !opt.csv_path.empty()) {
@@ -286,6 +285,8 @@ main(int argc, char **argv)
             meta.scale = opt.base.workload.scale;
             meta.seed = opt.base.workload.seed;
             meta.jobs = sweep.jobs();
+            meta.shard_index = opt.shard.index;
+            meta.shard_count = opt.shard.count;
             writeOut(opt.json_path,
                      resultsToJson(meta, records).dump(2) + "\n",
                      "JSON");

@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "harness/cli.hh"
 #include "harness/results_io.hh"
 #include "harness/runner.hh"
 
@@ -50,28 +51,6 @@ usage(int code)
         "        --json PATH|-     write the RunResult as JSON\n"
         "        --quiet           suppress the text report\n");
     std::exit(code);
-}
-
-MmuDesign
-parseDesign(const std::string &name)
-{
-    if (name == "ideal")
-        return MmuDesign::kIdeal;
-    if (name == "baseline-512")
-        return MmuDesign::kBaseline512;
-    if (name == "baseline-16k")
-        return MmuDesign::kBaseline16K;
-    if (name == "baseline-large-tlb")
-        return MmuDesign::kBaselineLargeTlb;
-    if (name == "vc")
-        return MmuDesign::kVcNoOpt;
-    if (name == "vc-opt")
-        return MmuDesign::kVcOpt;
-    if (name == "l1vc-32")
-        return MmuDesign::kL1Vc32;
-    if (name == "l1vc-128")
-        return MmuDesign::kL1Vc128;
-    fatal("unknown design '" + name + "' (try --help)");
 }
 
 GraphKind
@@ -120,11 +99,11 @@ cmdRecord(int argc, char **argv)
         else if (a == "-o" || a == "--out")
             out = need(i);
         else if (a == "--scale")
-            params.scale = std::atof(need(i));
+            params.scale = parseDouble("--scale", need(i));
         else if (a == "--seed")
-            params.seed = std::strtoull(need(i), nullptr, 10);
+            params.seed = parseU64("--seed", need(i));
         else if (a == "--grid-warps")
-            params.grid_warps = unsigned(std::atoi(need(i)));
+            params.grid_warps = parseUnsigned("--grid-warps", need(i));
         else if (a == "--graph")
             params.graph = parseGraph(need(i));
         else if (a == "--help" || a == "-h")
