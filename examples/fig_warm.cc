@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Warm-cache figure: run the same kernel three times back-to-back on one
+ * persistent memory system and compare the shared IOMMU TLB traffic of
+ * the warm launches (kernels 2-3) against the cold first launch, per MMU
+ * design and per boundary policy (paper §4).
+ *
+ * Under the virtual-cache designs a warm launch hits lines that are
+ * still cache-resident, and a cache hit needs no translation at all —
+ * so the warm-kernel IOMMU traffic collapses under keep-all boundaries.
+ * A TLB shootdown boundary kills the translation state but legally
+ * leaves physical caches warm, which is why the baseline recovers some
+ * (but not all) of the benefit there while the virtual hierarchy, whose
+ * cached translations die with the shootdown, re-walks.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/fig_warm
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+using namespace gvc;
+
+namespace
+{
+
+std::string
+fmtU64(std::uint64_t v)
+{
+    return std::to_string((unsigned long long)v);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("gvc fig_warm: pagerank x3 on one warm memory system — "
+                "IOMMU TLB accesses per kernel\n\n");
+
+    RunConfig base;
+    base.workload.scale = 0.5;
+
+    for (const BoundaryPolicy policy :
+         {BoundaryPolicy::keepAll(), BoundaryPolicy::shootdown()}) {
+        std::printf("boundary: %s\n", boundaryPolicyName(policy));
+        TextTable table({"design", "k0 (cold)", "k1 (warm)", "k2 (warm)",
+                         "warm/cold"});
+        for (const MmuDesign design :
+             {MmuDesign::kBaseline512, MmuDesign::kL1Vc32,
+              MmuDesign::kVcOpt}) {
+            RunConfig cfg = base;
+            cfg.design = design;
+            ScenarioSpec spec;
+            spec.rounds = 3;
+            spec.boundary = policy;
+            const RunResult r = runScenario("pagerank", cfg, spec);
+            const KernelStats &k0 = r.kernels[0];
+            const KernelStats &k1 = r.kernels[1];
+            const KernelStats &k2 = r.kernels[2];
+            const double ratio =
+                k0.iommu_accesses
+                    ? double(k1.iommu_accesses + k2.iommu_accesses) /
+                          (2.0 * double(k0.iommu_accesses))
+                    : 0.0;
+            table.addRow({designName(design),
+                          fmtU64(k0.iommu_accesses),
+                          fmtU64(k1.iommu_accesses),
+                          fmtU64(k2.iommu_accesses),
+                          TextTable::fmt(ratio, 2) + "x"});
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    std::printf("Under keep-all the virtual hierarchies keep filtering: "
+                "warm kernels hit\nresident cache lines and never reach "
+                "the IOMMU.  A shootdown drops the\ntranslations but not "
+                "the physical caches, so the baseline's warm launches\n"
+                "still walk less than cold while the virtual designs "
+                "start over.\n");
+    return 0;
+}

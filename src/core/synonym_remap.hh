@@ -132,6 +132,19 @@ class SynonymRemapTable
         }
     }
 
+    /**
+     * Drop every remapping (kernel-boundary FBT drop).  Also rewinds the
+     * LRU clock so replacement decisions after the reset match a freshly
+     * constructed table bit for bit.
+     */
+    void
+    clear()
+    {
+        for (auto &set : sets_)
+            set.clear();
+        lru_clock_ = 0;
+    }
+
     std::uint64_t lookups() const { return lookups_.value; }
     std::uint64_t hits() const { return hits_.value; }
     std::uint64_t drops() const { return drops_.value; }

@@ -35,6 +35,7 @@
 #include "mem/dram.hh"
 #include "mem/vm.hh"
 #include "sim/debug.hh"
+#include "mmu/boundary.hh"
 #include "mmu/injection.hh"
 #include "mmu/soc_config.hh"
 #include "tlb/iommu.hh"
@@ -221,6 +222,37 @@ class VirtualCacheSystem final : public GpuMemInterface
         for (auto &l1 : l1s_)
             l1->flushLifetimes();
         l2_.flushLifetimes();
+    }
+
+    /**
+     * Kernel boundary (§4).  The FBT is inclusive of the virtual caches,
+     * so the requested flags cascade: a TLB shootdown drops the FBT, and
+     * dropping the FBT (or the L2, whose line bits the FBT holds) drops
+     * every cache level plus the synonym remap table.  Unlike the
+     * simulated purge path (purgePage), this is a harness-level reset:
+     * no writeback traffic is modelled and no result counters move, so
+     * a flush-all warm round stays bit-identical to a fresh cold run.
+     */
+    void
+    applyBoundary(const BoundaryPolicy &p)
+    {
+        const bool drop_fbt =
+            p.flush_fbt || p.flush_l2 || p.shootdown_tlbs;
+        if (p.flush_l1 || drop_fbt) {
+            for (unsigned cu = 0; cu < l1s_.size(); ++cu) {
+                l1s_[cu]->invalidateAll();
+                filters_[cu]->reset();
+            }
+        }
+        if (drop_fbt) {
+            l2_.invalidateAll(); // dirty lines dropped silently
+            fbt_.shootdownAll();
+            remap_.clear();
+        }
+        if (p.shootdown_tlbs) {
+            iommu_.invalidateAll();
+            iommu_.ptw().pwc().invalidateAll();
+        }
     }
 
   private:

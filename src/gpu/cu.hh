@@ -113,6 +113,24 @@ class ComputeUnit
         return true;
     }
 
+    /**
+     * Rebase the issue machinery on the current time (scenario kernel
+     * boundary).  Setting last_issue_ = now() makes the first wake() of
+     * the next kernel fire at now()+1, exactly one tick after "time
+     * zero" — the same offset a fresh CU sees — and resetting the
+     * scheduler cursors makes warp selection shift-invariant, so a
+     * flushed warm kernel replays a cold run tick for tick.  Counters
+     * are untouched.  Must only be called while the CU is idle.
+     */
+    void
+    resetIssueState()
+    {
+        rr_next_ = 0;
+        greedy_current_ = 0;
+        assign_counter_ = 0;
+        last_issue_ = ctx_.now();
+    }
+
   private:
     struct PendingWarp
     {

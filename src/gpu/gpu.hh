@@ -73,6 +73,22 @@ class Gpu
         }
     }
 
+    /**
+     * Scenario kernel boundary: rebase every CU's issue machinery on the
+     * current time so the next launch schedules shift-invariantly (see
+     * ComputeUnit::resetIssueState).  The harness calls this between
+     * scenario rounds, never between the launches a single workload
+     * emits itself.
+     */
+    void
+    resetIssueState()
+    {
+        if (cus_running_ != 0)
+            fatal("Gpu::resetIssueState: a kernel is still running");
+        for (auto &cu : cus_)
+            cu->resetIssueState();
+    }
+
     unsigned numCus() const { return unsigned(cus_.size()); }
     ComputeUnit &cu(unsigned i) { return *cus_[i]; }
     const ComputeUnit &cu(unsigned i) const { return *cus_[i]; }

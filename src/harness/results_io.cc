@@ -605,6 +605,17 @@ runResultToJson(const RunResult &r, const SocConfig *soc)
     GVC_RUNRESULT_BREAKDOWN_FIELDS(X)
 #undef X
     j.set("tlb_breakdown", std::move(bd));
+    if (!r.kernels.empty()) {
+        Json kernels = Json::array();
+        for (const KernelStats &k : r.kernels) {
+            Json one = Json::object();
+#define X(field) one.set(#field, std::uint64_t(k.field));
+            GVC_KERNELSTAT_FIELDS(X)
+#undef X
+            kernels.push(std::move(one));
+        }
+        j.set("kernels", std::move(kernels));
+    }
     if (soc)
         j.set("soc", socConfigToJson(*soc));
     return j;
@@ -633,6 +644,20 @@ resultsToJson(const ExportMeta &meta,
         grid.set("shard", std::move(shard));
     }
 
+    // Schema version 2 exactly when the records carry per-kernel stats:
+    // the two record shapes cannot share a document, so a mix is a bug
+    // in the caller, not a third schema.
+    bool with_kernels = false, without_kernels = false;
+    for (const auto &rec : records) {
+        if (rec.result.kernels.empty())
+            without_kernels = true;
+        else
+            with_kernels = true;
+    }
+    if (with_kernels && without_kernels)
+        fatal("resultsToJson: cannot mix records with and without "
+              "per-kernel stats in one document");
+
     Json results = Json::array();
     for (const auto &rec : records) {
         const SocConfig effective =
@@ -645,7 +670,8 @@ resultsToJson(const ExportMeta &meta,
     }
 
     Json doc = Json::object();
-    doc.set("schema_version", kResultsSchemaVersion);
+    doc.set("schema_version", with_kernels ? kResultsSchemaVersionKernels
+                                           : kResultsSchemaVersion);
     doc.set("generator", meta.generator);
     doc.set("grid", std::move(grid));
     doc.set("results", std::move(results));
@@ -895,7 +921,8 @@ workloadParamsFromJson(Importer &imp, const Json &j,
 
 bool
 resultRecordFromJson(Importer &imp, const Json &j,
-                     const std::string &ctx, ResultRecord &rec)
+                     const std::string &ctx, int version,
+                     ResultRecord &rec)
 {
     if (!imp.getString(j, "workload", ctx, rec.result.workload))
         return false;
@@ -930,6 +957,32 @@ resultRecordFromJson(Importer &imp, const Json &j,
         return false;
     GVC_RUNRESULT_BREAKDOWN_FIELDS(X)
 #undef X
+
+    // Per-kernel stats are the one schema-versioned record field: a
+    // version-2 record must carry them, a version-1 record must not.
+    const Json *kernels = j.find("kernels");
+    if (version < kResultsSchemaVersionKernels) {
+        if (kernels)
+            return imp.fail(ctx + ".kernels: per-kernel stats require "
+                                  "schema_version " +
+                            std::to_string(kResultsSchemaVersionKernels));
+    } else {
+        if (!kernels || !kernels->isArray() || kernels->size() == 0)
+            return imp.fail(ctx + ".kernels: expected a non-empty array");
+        for (std::size_t k = 0; k < kernels->size(); ++k) {
+            const std::string kctx =
+                ctx + ".kernels[" + std::to_string(k) + "]";
+            if (!kernels->at(k).isObject())
+                return imp.fail(kctx + ": expected an object");
+            KernelStats ks;
+#define X(field)                                                        \
+    if (!imp.getU64(kernels->at(k), #field, kctx, ks.field))            \
+        return false;
+            GVC_KERNELSTAT_FIELDS(X)
+#undef X
+            rec.result.kernels.push_back(ks);
+        }
+    }
 
     const Json *soc = imp.getObject(j, "soc", ctx);
     if (!soc || !socConfigFromJson(imp, *soc, ctx + ".soc", rec.cfg.soc))
@@ -977,11 +1030,14 @@ resultsFromJson(const Json &doc, ExportMeta &meta,
     std::uint64_t version = 0;
     if (!imp.getU64(doc, "schema_version", "document", version))
         return done(false);
-    if (version != std::uint64_t(kResultsSchemaVersion))
+    if (version != std::uint64_t(kResultsSchemaVersion) &&
+        version != std::uint64_t(kResultsSchemaVersionKernels))
         return done(imp.fail(
             "unsupported schema_version " + std::to_string(version) +
             " (expected " + std::to_string(kResultsSchemaVersion) +
+            " or " + std::to_string(kResultsSchemaVersionKernels) +
             ")"));
+    meta.schema_version = int(version);
     if (!imp.getString(doc, "generator", "document", meta.generator))
         return done(false);
 
@@ -1028,7 +1084,8 @@ resultsFromJson(const Json &doc, ExportMeta &meta,
         if (!results->at(i).isObject())
             return done(imp.fail(ctx + ": expected an object"));
         ResultRecord rec;
-        if (!resultRecordFromJson(imp, results->at(i), ctx, rec))
+        if (!resultRecordFromJson(imp, results->at(i), ctx,
+                                  meta.schema_version, rec))
             return done(false);
         records.push_back(std::move(rec));
     }
@@ -1088,6 +1145,13 @@ mergeResults(const std::vector<Json> &shards, Json &merged,
             cells.assign(m.workloads.size() * design_count,
                          std::nullopt);
         } else {
+            if (m.schema_version != meta.schema_version)
+                return fail(who + ": schema_version " +
+                            std::to_string(m.schema_version) +
+                            " differs from shard 0's " +
+                            std::to_string(meta.schema_version) +
+                            "; shards with and without per-kernel "
+                            "stats cannot merge");
             if (m.generator != meta.generator)
                 return fail(who + ": generator '" + m.generator +
                             "' differs from shard 0's '" +

@@ -19,6 +19,13 @@
  *     "results": [ { "workload": "...", "design": "...",
  *                    "exec_ticks": N, ... , "soc": {...} }, ... ]
  *   }
+ *
+ * Schema version 2 is version 1 plus a per-record "kernels" array (one
+ * object of KernelStats counters per kernel of a multi-kernel scenario
+ * run).  A document is stamped version 2 exactly when its records carry
+ * per-kernel stats, so exports of plain runs stay byte-identical to the
+ * version-1 schema; mixing records with and without per-kernel stats in
+ * one document is an error.
  */
 
 #ifndef GVC_HARNESS_RESULTS_IO_HH
@@ -117,6 +124,11 @@ struct ResultRecord
     RunResult result;
 };
 
+/** Schema version stamped into documents without per-kernel stats. */
+inline constexpr int kResultsSchemaVersion = 1;
+/** Schema version stamped when records carry per-kernel stats arrays. */
+inline constexpr int kResultsSchemaVersionKernels = 2;
+
 /** Metadata describing the exporting run (the "grid" JSON object). */
 struct ExportMeta
 {
@@ -136,10 +148,13 @@ struct ExportMeta
      */
     unsigned shard_index = 0;
     unsigned shard_count = 1;
+    /**
+     * Version of the document this meta was imported from (set by
+     * resultsFromJson).  Export ignores it: resultsToJson derives the
+     * version from whether the records carry per-kernel stats.
+     */
+    int schema_version = kResultsSchemaVersion;
 };
-
-/** Schema version stamped into every exported document. */
-inline constexpr int kResultsSchemaVersion = 1;
 
 /** Serialize a full SocConfig (every simulation-relevant field). */
 Json socConfigToJson(const SocConfig &soc);
@@ -153,7 +168,12 @@ Json workloadParamsToJson(const WorkloadParams &p);
  */
 Json runResultToJson(const RunResult &r, const SocConfig *soc = nullptr);
 
-/** Full versioned results document. */
+/**
+ * Full versioned results document.  Stamped schema version 2 when the
+ * records carry per-kernel stats (`RunResult::kernels`), version 1
+ * otherwise; a mix of records with and without per-kernel stats is a
+ * fatal error (the two schemas cannot share a document).
+ */
 Json resultsToJson(const ExportMeta &meta,
                    const std::vector<ResultRecord> &records);
 
@@ -161,7 +181,10 @@ Json resultsToJson(const ExportMeta &meta,
  * Rebuild an ExportMeta plus ResultRecords from a parsed results
  * document — the inverse of resultsToJson().  Field-exact: every
  * schema field must be present with the right type, and documents
- * with an unknown schema_version are rejected outright.  Imported
+ * with an unknown schema_version are rejected outright.  Version 2
+ * documents must carry a non-empty "kernels" array in every record;
+ * version 1 documents must carry none (the seen version is recorded
+ * in `meta.schema_version`).  Imported
  * records carry the document's (effective) SocConfig with `raw_soc`
  * set, so re-exporting them emits byte-identical "soc" objects.
  * Returns false and stores a message in @p err on any mismatch.
@@ -175,7 +198,8 @@ bool resultsFromJson(const Json &doc, ExportMeta &meta,
  * into one document in canonical grid order, byte-identical to the
  * unsharded export of the same grid.  Validates every shard against
  * the first: schema version (via resultsFromJson), generator, grid
- * axes, scale, seed, and shard count must match, every grid label
+ * axes, scale, seed, schema version, and shard count must match
+ * (schema-v1 and schema-v2 shards never merge), every grid label
  * must be resolvable, and each (workload, design) cell must appear
  * exactly once across all shards — duplicates and missing cells are
  * reported by name.  `jobs` is taken from the first shard (worker

@@ -37,15 +37,44 @@ runSource(trace::KernelSource &source, const RunConfig &cfg,
     Gpu gpu(ctx, soc.gpu, sut.memIf());
 
     auto launches = source.kernels();
-    if (capture)
+    if (capture) {
         trace::wrapForRecording(launches, *capture);
+        capture->boundaries = source.boundaries();
+    }
 
-    for (auto &launch : launches) {
+    // Kernel boundaries (scenario runs): after the named launch drains,
+    // snapshot the counters into a per-kernel delta, apply the boundary
+    // policy, and rebase the CU issue machinery so the next kernel
+    // schedules shift-invariantly.
+    const auto &bounds = source.boundaries();
+    std::vector<KernelStats> per_kernel;
+    KernelStats prev_snap;
+    std::size_t next_bound = 0;
+    for (std::size_t i = 0; i < launches.size(); ++i) {
         bool done = false;
-        gpu.launch(std::move(launch), [&done] { done = true; });
+        gpu.launch(std::move(launches[i]), [&done] { done = true; });
         ctx.eq.run();
         if (!done)
             panic("runSource: kernel failed to drain the event queue");
+        if (next_bound < bounds.size() &&
+            bounds[next_bound].kernel == i) {
+            const auto policy =
+                BoundaryPolicy::decode(bounds[next_bound].policy);
+            if (!policy)
+                fatal("runSource: invalid boundary policy byte");
+            const KernelStats snap =
+                collectKernelStats(sut, gpu, dram, ctx);
+            per_kernel.push_back(kernelDelta(snap, prev_snap));
+            prev_snap = snap;
+            sut.applyBoundary(*policy);
+            gpu.resetIssueState();
+            ++next_bound;
+        }
+    }
+
+    if (!bounds.empty()) {
+        const KernelStats snap = collectKernelStats(sut, gpu, dram, ctx);
+        per_kernel.push_back(kernelDelta(snap, prev_snap));
     }
 
     const Tick end = ctx.now();
@@ -56,6 +85,7 @@ runSource(trace::KernelSource &source, const RunConfig &cfg,
     RunResult r;
     r.workload = source.name();
     r.design = cfg.design;
+    r.kernels = std::move(per_kernel);
     r.exec_ticks = end;
     r.instructions = gpu.totalInstructions();
     r.mem_instructions = gpu.totalMemInstructions();
@@ -157,6 +187,55 @@ runWorkload(const std::string &workload_name, const RunConfig &cfg,
     }
     trace::WorkloadKernelSource source(workload_name, cfg.workload);
     return runSource(source, cfg, inspect, capture);
+}
+
+RunResult
+runScenario(const std::string &workload_name, const RunConfig &cfg,
+            const ScenarioSpec &spec, const InspectFn &inspect,
+            trace::Trace *capture)
+{
+    if (spec.rounds == 0)
+        fatal("runScenario: rounds must be >= 1");
+
+    // One round of the workload, captured without simulating.  The
+    // scenario then *is* a trace: kernels tiled rounds times with a
+    // boundary marker between rounds, replayed by the core runner.
+    // This makes live scenario runs and replays of recorded scenario
+    // traces the same code path, so they match bit for bit.
+    trace::Trace base;
+    if (!cfg.trace_in.empty()) {
+        std::string err;
+        if (!trace::TraceReader::readFile(cfg.trace_in, base, &err))
+            fatal("runScenario: " + err);
+        if (!base.boundaries.empty()) {
+            fatal("runScenario: '" + cfg.trace_in +
+                  "' already carries kernel boundaries; replay it "
+                  "directly instead of re-tiling it");
+        }
+    } else {
+        base = trace::captureWorkloadTrace(workload_name, cfg.workload,
+                                           cfg.soc.phys_mem_bytes);
+    }
+    if (base.kernels.empty() && spec.rounds > 1)
+        fatal("runScenario: workload emitted no kernels to repeat");
+
+    auto scen = std::make_shared<trace::Trace>(std::move(base));
+    const std::size_t per_round = scen->kernels.size();
+    const std::vector<trace::TraceKernel> one_round = scen->kernels;
+    for (unsigned round = 1; round < spec.rounds; ++round) {
+        scen->boundaries.push_back(trace::TraceBoundary{
+            std::uint64_t(round) * per_round - 1,
+            spec.boundary.encode()});
+        scen->kernels.insert(scen->kernels.end(), one_round.begin(),
+                             one_round.end());
+    }
+    if (capture)
+        *capture = *scen;
+
+    RunConfig run_cfg = cfg;
+    run_cfg.trace_in.clear();
+    trace::TraceKernelSource source(std::move(scen));
+    return runSource(source, run_cfg, inspect);
 }
 
 } // namespace gvc

@@ -11,7 +11,10 @@
 #include <functional>
 #include <string>
 
+#include <vector>
+
 #include "gpu/gpu.hh"
+#include "harness/scenario.hh"
 #include "mmu/designs.hh"
 #include "trace/kernel_source.hh"
 #include "workloads/registry.hh"
@@ -84,6 +87,14 @@ struct RunResult
     std::uint64_t rw_faults = 0;
     std::uint64_t fbt_purges = 0;
     std::uint64_t fbt_valid_pages = 0; ///< Pages resident at end.
+
+    /**
+     * Per-kernel stat deltas for multi-kernel scenario runs, one entry
+     * per kernel (delimited by the source's boundaries).  Empty for
+     * plain single-scenario runs — the scalar fields above always hold
+     * the cumulative totals either way.
+     */
+    std::vector<KernelStats> kernels;
 };
 
 /**
@@ -110,6 +121,20 @@ RunResult runSource(trace::KernelSource &source, const RunConfig &cfg,
  */
 RunResult runWorkload(const std::string &workload_name,
                       const RunConfig &cfg, const InspectFn &inspect = {},
+                      trace::Trace *capture = nullptr);
+
+/**
+ * Execute a multi-kernel scenario: capture one round of @p workload_name
+ * (or of `cfg.trace_in`, which must not itself carry boundaries), tile
+ * it `spec.rounds` times with `spec.boundary` between rounds, and replay
+ * the resulting scenario trace.  Because the live run *is* a replay of
+ * its own scenario trace, a recorded scenario (@p capture, written as a
+ * .gvct v2) replays bit-identically by construction.  The result carries
+ * one KernelStats delta per round in `RunResult::kernels`.
+ */
+RunResult runScenario(const std::string &workload_name,
+                      const RunConfig &cfg, const ScenarioSpec &spec,
+                      const InspectFn &inspect = {},
                       trace::Trace *capture = nullptr);
 
 } // namespace gvc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Multi-kernel scenarios: launch one workload's kernels N times
+ * back-to-back on a single persistent SimContext + memory system, with a
+ * selectable kernel-boundary policy (paper §4) applied between rounds.
+ * The per-round statistics expose what the paper's single-kernel runs
+ * cannot: how much translation traffic a warm virtual cache hierarchy
+ * keeps filtering once cache residency outlives TLB-entry lifetime.
+ */
+
+#ifndef GVC_HARNESS_SCENARIO_HH
+#define GVC_HARNESS_SCENARIO_HH
+
+#include <cstdint>
+
+#include "gpu/gpu.hh"
+#include "mem/dram.hh"
+#include "mmu/boundary.hh"
+#include "mmu/designs.hh"
+
+namespace gvc
+{
+
+/**
+ * Deterministic per-kernel counters, one X-macro entry per exported
+ * field.  Every field is a plain event count (or tick count) so deltas
+ * between cumulative snapshots are exact; window-based rate statistics
+ * (the IOMMU APC sampler) are deliberately excluded because their
+ * windows are anchored at absolute time zero, not at kernel starts.
+ */
+#define GVC_KERNELSTAT_FIELDS(X)                                          \
+    X(exec_ticks)                                                         \
+    X(instructions)                                                       \
+    X(mem_instructions)                                                   \
+    X(tlb_accesses)                                                       \
+    X(tlb_misses)                                                         \
+    X(iommu_accesses)                                                     \
+    X(page_walks)                                                         \
+    X(l1_accesses)                                                        \
+    X(l1_hits)                                                            \
+    X(l2_accesses)                                                        \
+    X(l2_hits)                                                            \
+    X(dram_accesses)                                                      \
+    X(dram_bytes)                                                         \
+    X(fbt_lookups)                                                        \
+    X(synonym_replays)
+
+/** One kernel's (or one cumulative snapshot's) counters. */
+struct KernelStats
+{
+#define GVC_DECLARE_FIELD(name) std::uint64_t name = 0;
+    GVC_KERNELSTAT_FIELDS(GVC_DECLARE_FIELD)
+#undef GVC_DECLARE_FIELD
+
+    bool
+    operator==(const KernelStats &o) const
+    {
+#define GVC_CMP_FIELD(name)                                               \
+    if (name != o.name)                                                   \
+        return false;
+        GVC_KERNELSTAT_FIELDS(GVC_CMP_FIELD)
+#undef GVC_CMP_FIELD
+        return true;
+    }
+    bool operator!=(const KernelStats &o) const { return !(*this == o); }
+};
+
+/** How to run a multi-kernel scenario. */
+struct ScenarioSpec
+{
+    /** Back-to-back rounds of the workload's kernels (>= 1). */
+    unsigned rounds = 1;
+    /** Policy applied between consecutive rounds. */
+    BoundaryPolicy boundary = BoundaryPolicy::keepAll();
+};
+
+/** Cumulative counters of the system as it stands right now. */
+KernelStats collectKernelStats(SystemUnderTest &sut, Gpu &gpu, Dram &dram,
+                               SimContext &ctx);
+
+/** Field-wise @p cur - @p prev (both cumulative snapshots). */
+KernelStats kernelDelta(const KernelStats &cur, const KernelStats &prev);
+
+/** Field-wise sum @p a + @p b (for invariant checks). */
+KernelStats kernelSum(const KernelStats &a, const KernelStats &b);
+
+} // namespace gvc
+
+#endif // GVC_HARNESS_SCENARIO_HH

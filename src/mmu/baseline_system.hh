@@ -24,6 +24,7 @@
 
 #include "gpu/cu.hh"
 #include "mem/vm.hh"
+#include "mmu/boundary.hh"
 #include "mmu/injection.hh"
 #include "mmu/phys_caches.hh"
 #include "tlb/iommu.hh"
@@ -127,6 +128,25 @@ class BaselineMmuSystem final : public GpuMemInterface
     {
         const auto acc = tlbAccesses();
         return acc ? double(tlbMisses()) / double(acc) : 0.0;
+    }
+
+    /**
+     * Kernel boundary (§4).  A shootdown invalidates the translation
+     * path end to end (per-CU TLBs, IOMMU TLB, page-walk cache) but the
+     * physically-tagged caches legally survive it — the baseline's data
+     * is immune to address-space changes, which is exactly the warm-path
+     * asymmetry versus the VC designs that fig_warm measures.
+     */
+    void
+    applyBoundary(const BoundaryPolicy &p)
+    {
+        caches_.boundaryFlush(p.flush_l1, p.flush_l2);
+        if (p.shootdown_tlbs) {
+            for (auto &tlb : tlbs_)
+                tlb->invalidateAll(ctx_.now());
+            iommu_.invalidateAll();
+            iommu_.ptw().pwc().invalidateAll();
+        }
     }
 
   private:

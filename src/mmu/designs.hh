@@ -13,6 +13,7 @@
 
 #include "core/virtual_hierarchy.hh"
 #include "mmu/baseline_system.hh"
+#include "mmu/boundary.hh"
 #include "mmu/ideal_system.hh"
 #include "mmu/l1vc_system.hh"
 #include "mmu/soc_config.hh"
@@ -194,6 +195,20 @@ class SystemUnderTest
             vc_->flushLifetimes();
         if (l1vc_)
             l1vc_->caches().flushLifetimes();
+    }
+
+    /** Apply a kernel-boundary policy to whichever system is built. */
+    void
+    applyBoundary(const BoundaryPolicy &p)
+    {
+        if (ideal_)
+            ideal_->applyBoundary(p);
+        if (baseline_)
+            baseline_->applyBoundary(p);
+        if (vc_)
+            vc_->applyBoundary(p);
+        if (l1vc_)
+            l1vc_->applyBoundary(p);
     }
 
     /** Register this system's statistics under dotted names. */

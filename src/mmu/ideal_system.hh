@@ -13,6 +13,7 @@
 
 #include "gpu/cu.hh"
 #include "mem/vm.hh"
+#include "mmu/boundary.hh"
 #include "mmu/injection.hh"
 #include "mmu/phys_caches.hh"
 
@@ -47,6 +48,16 @@ class IdealMmuSystem final : public GpuMemInterface
 
     PhysCaches &caches() { return caches_; }
     const PhysCaches &caches() const { return caches_; }
+
+    /**
+     * Kernel boundary (§4).  Translation is free here, so only the cache
+     * flags matter; a TLB shootdown is a no-op by construction.
+     */
+    void
+    applyBoundary(const BoundaryPolicy &p)
+    {
+        caches_.boundaryFlush(p.flush_l1, p.flush_l2);
+    }
 
   private:
     Vm &vm_;

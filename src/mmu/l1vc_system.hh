@@ -24,6 +24,7 @@
 #include "cache/cache_array.hh"
 #include "gpu/cu.hh"
 #include "mem/vm.hh"
+#include "mmu/boundary.hh"
 #include "mmu/injection.hh"
 #include "mmu/phys_caches.hh"
 #include "tlb/iommu.hh"
@@ -76,6 +77,9 @@ class LineLeadingRegistry
     }
 
     std::size_t size() const { return map_.size(); }
+
+    /** Forget every leading name (the L1s were fully invalidated). */
+    void clear() { map_.clear(); }
 
   private:
     struct Entry
@@ -140,6 +144,29 @@ class L1OnlyVcSystem final : public GpuMemInterface
     PhysCaches &caches() { return caches_; }
     std::uint64_t synonymReplays() const { return synonym_replays_.value; }
     LineLeadingRegistry &registry() { return registry_; }
+
+    /**
+     * Kernel boundary (§4).  The virtual L1s must go whenever their
+     * address space does: a TLB shootdown here also drops the L1s and
+     * the leading-name registry (which tracks only L1 contents).  The
+     * physical L2 follows the baseline rules and may survive.
+     */
+    void
+    applyBoundary(const BoundaryPolicy &p)
+    {
+        if (p.flush_l1 || p.shootdown_tlbs) {
+            for (auto &l1 : l1s_)
+                l1->invalidateAll();
+            registry_.clear();
+        }
+        caches_.boundaryFlush(false, p.flush_l2);
+        if (p.shootdown_tlbs) {
+            for (auto &tlb : tlbs_)
+                tlb->invalidateAll(ctx_.now());
+            iommu_.invalidateAll();
+            iommu_.ptw().pwc().invalidateAll();
+        }
+    }
 
   private:
     void

@@ -123,6 +123,24 @@ class PhysCaches
     MshrTable &mshrs() { return mshrs_; }
     Directory &directory() { return dir_; }
 
+    /**
+     * Kernel-boundary invalidation: drop the selected levels without
+     * modelling writeback traffic or bumping result counters — the
+     * boundary is a harness-level reset, not a simulated event, so a
+     * flushed warm run must stay bit-identical to a fresh cold run.
+     * (The L2 is write-back; its dirty lines are dropped silently.)
+     */
+    void
+    boundaryFlush(bool flush_l1, bool flush_l2)
+    {
+        if (flush_l1) {
+            for (auto &l1 : l1s_)
+                l1->invalidateAll();
+        }
+        if (flush_l2)
+            l2_.invalidateAll();
+    }
+
     /** Record lifetimes of lines still resident (end of simulation). */
     void
     flushLifetimes()

@@ -337,6 +337,21 @@ class StatRegistry
         }
     }
 
+    /**
+     * Evaluate every registered stat right now, in registration order.
+     * Scenario runs snapshot the registry at each kernel boundary and
+     * difference consecutive snapshots into per-kernel deltas.
+     */
+    std::vector<std::pair<std::string, double>>
+    snapshot() const
+    {
+        std::vector<std::pair<std::string, double>> out;
+        out.reserve(entries_.size());
+        for (const auto &[n, fn] : entries_)
+            out.emplace_back(n, fn());
+        return out;
+    }
+
     std::size_t size() const { return entries_.size(); }
 
   private:

@@ -42,6 +42,19 @@ class KernelSource
 
     /** Produce every kernel launch (call once, after setup). */
     virtual std::vector<KernelLaunch> kernels() = 0;
+
+    /**
+     * Kernel boundaries between the launches kernels() returns, in
+     * strictly increasing launch order (see TraceBoundary).  Empty for
+     * plain single-scenario sources; the runner applies each boundary's
+     * policy after the named launch completes.
+     */
+    virtual const std::vector<TraceBoundary> &
+    boundaries() const
+    {
+        static const std::vector<TraceBoundary> kNone;
+        return kNone;
+    }
 };
 
 /** Live generation: wraps a registry workload. */
@@ -144,6 +157,12 @@ class TraceKernelSource final : public KernelSource
             launches.push_back(std::move(launch));
         }
         return launches;
+    }
+
+    const std::vector<TraceBoundary> &
+    boundaries() const override
+    {
+        return trace_->boundaries;
     }
 
   private:

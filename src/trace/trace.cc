@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "mmu/boundary.hh"
+
 namespace gvc::trace
 {
 
@@ -272,11 +274,22 @@ serializeBody(const Trace &t)
                 serializeInst(out, inst);
         }
     }
+
+    // Boundary section, present only in version-2 bodies.  A trace
+    // without boundaries serializes as version 1 and must stay
+    // byte-identical to pre-scenario writers.
+    if (!t.boundaries.empty()) {
+        putVarint(out, t.boundaries.size());
+        for (const TraceBoundary &b : t.boundaries) {
+            putVarint(out, b.kernel);
+            out.push_back(b.policy);
+        }
+    }
     return out;
 }
 
 bool
-parseBody(Cursor &c, Trace &t)
+parseBody(Cursor &c, Trace &t, std::uint32_t version)
 {
     t.workload = c.str();
 
@@ -347,6 +360,37 @@ parseBody(Cursor &c, Trace &t)
         t.kernels.push_back(std::move(k));
     }
 
+    t.boundaries.clear();
+    if (version >= kTraceVersionScenario) {
+        const std::uint64_t n_bounds = c.varint();
+        if (!c.ok())
+            return false;
+        t.boundaries.reserve(std::size_t(n_bounds));
+        for (std::uint64_t bi = 0; bi < n_bounds; ++bi) {
+            TraceBoundary b;
+            b.kernel = c.varint();
+            b.policy = c.u8();
+            if (!c.ok())
+                return false;
+            if (b.policy >= BoundaryPolicy::kBoundaryPolicyLimit) {
+                c.fail("invalid boundary policy byte");
+                return false;
+            }
+            if (!t.boundaries.empty() &&
+                b.kernel <= t.boundaries.back().kernel) {
+                c.fail("boundary kernel indices not strictly increasing");
+                return false;
+            }
+            // A boundary sits *between* launches: at least one kernel
+            // must follow it.
+            if (b.kernel + 1 >= t.kernels.size()) {
+                c.fail("boundary kernel index out of range");
+                return false;
+            }
+            t.boundaries.push_back(b);
+        }
+    }
+
     if (c.remaining() != 0) {
         c.fail("trailing bytes after trace body");
         return false;
@@ -377,7 +421,7 @@ TraceWriter::serialize(const Trace &trace)
     std::vector<std::uint8_t> out;
     out.reserve(16 + body.size());
     out.insert(out.end(), kTraceMagic, kTraceMagic + 4);
-    putU32Fixed(out, kTraceVersion);
+    putU32Fixed(out, trace.formatVersion());
     putU64Fixed(out, fnv1a(body.data(), body.size()));
     out.insert(out.end(), body.begin(), body.end());
     return out;
@@ -414,10 +458,11 @@ TraceReader::parse(const std::uint8_t *data, std::size_t size, Trace &out,
     }
     Cursor c(data + 4, size - 4);
     const std::uint32_t version = c.u32Fixed();
-    if (version != kTraceVersion) {
+    if (version != kTraceVersion && version != kTraceVersionScenario) {
         setErr(err, "unsupported trace version " +
                         std::to_string(version) + " (expected " +
-                        std::to_string(kTraceVersion) + ")");
+                        std::to_string(kTraceVersion) + " or " +
+                        std::to_string(kTraceVersionScenario) + ")");
         return false;
     }
     const std::uint64_t digest = c.u64Fixed();
@@ -425,7 +470,7 @@ TraceReader::parse(const std::uint8_t *data, std::size_t size, Trace &out,
         setErr(err, "body digest mismatch: trace is corrupt");
         return false;
     }
-    if (!parseBody(c, out)) {
+    if (!parseBody(c, out, version)) {
         setErr(err, c.error());
         return false;
     }

@@ -11,7 +11,7 @@
  * addresses, and the recorded WarpInst streams are the exact streams
  * the live workload emitted.
  *
- * ## File format (version 1)
+ * ## File format (versions 1 and 2)
  *
  *     offset  size  field
  *     0       4     magic "GVCT"
@@ -39,6 +39,18 @@
  *                            deltas between consecutive lane addresses
  *                          - barrier: nothing
  *
+ * Version 2 appends a kernel-boundary section (multi-kernel scenarios):
+ *
+ *     boundary count       varint
+ *       per boundary:      varint kernel index, u8 policy byte
+ *
+ * Boundary kernel indices must be strictly increasing and each must
+ * leave at least one kernel after it (a boundary sits *between*
+ * launches); the policy byte is a BoundaryPolicy encoding and must be
+ * < BoundaryPolicy::kBoundaryPolicyLimit.  A trace without boundaries
+ * always serializes as version 1, so every pre-scenario trace file is
+ * byte-identical to what older writers produced.
+ *
  * Lane addresses are overwhelmingly small positive strides off the
  * previous lane, so zigzag delta coding shrinks the dominant payload
  * from 8 bytes to 1-2 bytes per lane.
@@ -58,8 +70,11 @@
 namespace gvc::trace
 {
 
-/** Current on-disk format version. */
+/** Base on-disk format version (no boundary section). */
 inline constexpr std::uint32_t kTraceVersion = 1;
+
+/** Format version carrying the kernel-boundary section. */
+inline constexpr std::uint32_t kTraceVersionScenario = 2;
 
 /** File magic ("GVCT"). */
 inline constexpr char kTraceMagic[4] = {'G', 'V', 'C', 'T'};
@@ -71,6 +86,18 @@ struct TraceKernel
     std::vector<std::vector<WarpInst>> warps;
 };
 
+/**
+ * A kernel boundary recorded in a scenario trace: after launch @p kernel
+ * completes, apply the boundary policy encoded in @p policy (see
+ * BoundaryPolicy::encode) before the next launch.  Kept as the raw byte
+ * so the trace layer stays independent of policy semantics.
+ */
+struct TraceBoundary
+{
+    std::uint64_t kernel = 0;
+    std::uint8_t policy = 0;
+};
+
 /** A complete captured workload. */
 struct Trace
 {
@@ -78,6 +105,7 @@ struct Trace
     WorkloadParams params;
     std::vector<VmOp> vm_ops;
     std::vector<TraceKernel> kernels;
+    std::vector<TraceBoundary> boundaries;
 
     std::uint64_t
     totalInstructions() const
@@ -96,6 +124,13 @@ struct Trace
         for (const auto &k : kernels)
             n += k.warps.size();
         return n;
+    }
+
+    /** On-disk format version this trace serializes as. */
+    std::uint32_t
+    formatVersion() const
+    {
+        return boundaries.empty() ? kTraceVersion : kTraceVersionScenario;
     }
 };
 

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerate tests/golden_stats.txt from the current build.  Run after
+# an intended behavior change, then commit the updated file together
+# with the change that caused it.
+#
+#   tests/regen_golden.sh [path-to-gvc_tests]
+set -e
+
+tests_bin="${1:-build/tests/gvc_tests}"
+if [ ! -x "$tests_bin" ]; then
+    echo "error: test binary '$tests_bin' not found (build first, or" >&2
+    echo "pass its path: tests/regen_golden.sh <path-to-gvc_tests>)" >&2
+    exit 1
+fi
+
+GVC_REGEN_GOLDEN=1 "$tests_bin" --gtest_filter='GoldenStats.*'
+echo "regenerated $(dirname "$0")/golden_stats.txt"

@@ -1,0 +1,36 @@
+# CLI smoke test: run a 3-kernel warm-cache scenario, record it into a
+# .gvct v2 trace, replay the trace, and require the replayed RunResult
+# JSON (cumulative *and* per-kernel stats) to be byte-identical to the
+# live scenario run.  Mirrors trace_smoke.cmake for the scenario layer.
+
+set(trace "${WORK_DIR}/smoke_scenario.gvct")
+
+function(run_checked)
+    execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                    OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        string(JOIN " " cmd ${ARGN})
+        message(FATAL_ERROR "command failed (${rc}): ${cmd}")
+    endif()
+endfunction()
+
+foreach(boundary keep-all shootdown)
+    run_checked(${GVC_RUN} -w pagerank -d vc-opt --scale 0.05
+                --kernels 3 --boundary ${boundary}
+                --trace-out ${trace}
+                --json ${WORK_DIR}/smoke_scenario_live.json)
+    run_checked(${GVC_RUN} --trace-in ${trace} -d vc-opt
+                --json ${WORK_DIR}/smoke_scenario_replay.json)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/smoke_scenario_live.json
+                ${WORK_DIR}/smoke_scenario_replay.json
+        RESULT_VARIABLE diff_rc)
+    if(NOT diff_rc EQUAL 0)
+        message(FATAL_ERROR
+                "replayed scenario differs from live run (${boundary})")
+    endif()
+endforeach()
+
+message(STATUS "scenario record+replay bit-identical under both "
+               "boundary policies")

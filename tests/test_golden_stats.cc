@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Golden-stats regression test: pin the key counters (L1 hit rate,
+ * IOMMU TLB lookups, PTW walks, execution time) of a small grid of
+ * (workload, design) cells against a checked-in golden file.  The
+ * simulator is bit-deterministic per seed, so any diff here is a real
+ * behavior change — either a bug, or an intended change that must be
+ * acknowledged by regenerating the file:
+ *
+ *     GVC_REGEN_GOLDEN=1 ./build/tests/gvc_tests \
+ *         --gtest_filter='GoldenStats.*'     # or tests/regen_golden.sh
+ *
+ * and committing the updated tests/golden_stats.txt alongside the
+ * change that caused it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/runner.hh"
+
+#ifndef GVC_GOLDEN_STATS_FILE
+#error "GVC_GOLDEN_STATS_FILE must point at the checked-in golden file"
+#endif
+
+namespace gvc
+{
+namespace
+{
+
+constexpr double kGoldenScale = 0.1;
+
+const char *const kGoldenWorkloads[] = {"pagerank", "bfs", "hotspot"};
+const MmuDesign kGoldenDesigns[] = {MmuDesign::kBaseline512,
+                                    MmuDesign::kVcOpt,
+                                    MmuDesign::kL1Vc32};
+
+/** Shortest "%g" form of @p v that parses back to exactly @p v. */
+std::string
+ratioLexeme(double v)
+{
+    char buf[40];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+/** The full golden document for the current build, one line per fact. */
+std::string
+currentStats()
+{
+    std::ostringstream os;
+    os << "# gvc golden stats: scale " << kGoldenScale
+       << ", default seed.  Regenerate with tests/regen_golden.sh\n";
+    for (const char *w : kGoldenWorkloads) {
+        for (const MmuDesign d : kGoldenDesigns) {
+            RunConfig cfg;
+            cfg.design = d;
+            cfg.workload.scale = kGoldenScale;
+            const RunResult r = runWorkload(w, cfg);
+            const std::string key =
+                std::string(w) + " " + designName(d) + " ";
+            os << key << "exec_ticks " << r.exec_ticks << "\n";
+            os << key << "iommu_accesses " << r.iommu_accesses << "\n";
+            os << key << "page_walks " << r.page_walks << "\n";
+            os << key << "l1_hit_ratio " << ratioLexeme(r.l1_hit_ratio)
+               << "\n";
+        }
+    }
+    return os.str();
+}
+
+TEST(GoldenStats, KeyCountersMatchCheckedInGolden)
+{
+    const std::string path = GVC_GOLDEN_STATS_FILE;
+    const std::string current = currentStats();
+
+    if (std::getenv("GVC_REGEN_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << current;
+        out.close();
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " — generate it with GVC_REGEN_GOLDEN=1 (see file header)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+
+    EXPECT_EQ(golden.str(), current)
+        << "key counters drifted from " << path
+        << "; if the change is intended, regenerate with "
+           "tests/regen_golden.sh and commit the diff";
+}
+
+} // namespace
+} // namespace gvc

@@ -21,12 +21,14 @@
 #include "gpu/warp_inst.hh"
 #include "harness/energy.hh"
 #include "harness/runner.hh"
+#include "harness/scenario.hh"
 #include "harness/table.hh"
 #include "mem/dram.hh"
 #include "mem/page_table.hh"
 #include "mem/phys_mem.hh"
 #include "mem/vm.hh"
 #include "mmu/baseline_system.hh"
+#include "mmu/boundary.hh"
 #include "mmu/designs.hh"
 #include "mmu/ideal_system.hh"
 #include "mmu/injection.hh"

@@ -108,6 +108,57 @@ reparse(const Json &doc)
     return out;
 }
 
+/** Synthetic per-kernel deltas, unique per (salt, kernel index). */
+KernelStats
+makeKernelStats(std::uint64_t salt, std::uint64_t k)
+{
+    KernelStats s;
+    std::uint64_t i = 0;
+#define GVC_FILL_FIELD(name) s.name = 1000000 * salt + 100 * k + (i++);
+    GVC_KERNELSTAT_FIELDS(GVC_FILL_FIELD)
+#undef GVC_FILL_FIELD
+    return s;
+}
+
+/** makeRecord() plus a per-kernel stats array (schema version 2). */
+ResultRecord
+makeScenarioRecord(const std::string &workload, MmuDesign design,
+                   std::uint64_t salt)
+{
+    ResultRecord rec = makeRecord(workload, design, salt);
+    rec.result.kernels = {makeKernelStats(salt, 0),
+                          makeKernelStats(salt, 1),
+                          makeKernelStats(salt, 2)};
+    return rec;
+}
+
+/** Scenario records for the full test grid in canonical cell order. */
+std::vector<ResultRecord>
+scenarioRecords()
+{
+    return {
+        makeScenarioRecord("alpha", MmuDesign::kIdeal, 1),
+        makeScenarioRecord("alpha", MmuDesign::kVcOpt, 2),
+        makeScenarioRecord("beta", MmuDesign::kIdeal, 3),
+        makeScenarioRecord("beta", MmuDesign::kVcOpt, 4),
+    };
+}
+
+/** shardDoc() over scenarioRecords(): a schema-version-2 shard. */
+Json
+scenarioShardDoc(unsigned index, unsigned count)
+{
+    ExportMeta meta = testMeta();
+    meta.shard_index = index;
+    meta.shard_count = count;
+    const std::vector<ResultRecord> all = scenarioRecords();
+    std::vector<ResultRecord> mine;
+    for (std::size_t i = 0; i < all.size(); ++i)
+        if (i % count == index)
+            mine.push_back(all[i]);
+    return resultsToJson(meta, mine);
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -197,6 +248,104 @@ TEST(ResultsImport, ShardMetadataRoundTrips)
     // stability: pre-sharding documents stay byte-identical).
     const Json plain = resultsToJson(testMeta(), testRecords());
     EXPECT_EQ(plain.find("grid")->find("shard"), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Schema version 2: per-kernel stats arrays
+// ---------------------------------------------------------------------
+
+TEST(ResultsSchemaV2, ScenarioRecordsStampVersion2AndRoundTrip)
+{
+    const Json doc = resultsToJson(testMeta(), scenarioRecords());
+    EXPECT_EQ(doc.find("schema_version")->asU64(),
+              std::uint64_t(kResultsSchemaVersionKernels));
+
+    ExportMeta meta;
+    std::vector<ResultRecord> records;
+    std::string err;
+    ASSERT_TRUE(resultsFromJson(reparse(doc), meta, records, &err))
+        << err;
+    EXPECT_EQ(meta.schema_version, kResultsSchemaVersionKernels);
+    ASSERT_EQ(records.size(), 4u);
+    ASSERT_EQ(records[2].result.kernels.size(), 3u);
+    EXPECT_EQ(records[2].result.kernels[1], makeKernelStats(3, 1));
+
+    // Byte-identical re-export covers every per-kernel field at once.
+    EXPECT_EQ(resultsToJson(meta, records).dump(2), doc.dump(2));
+}
+
+TEST(ResultsSchemaV2, PlainRecordsStayVersion1)
+{
+    const Json doc = resultsToJson(testMeta(), testRecords());
+    EXPECT_EQ(doc.find("schema_version")->asU64(),
+              std::uint64_t(kResultsSchemaVersion));
+    EXPECT_EQ(doc.find("results")->at(0).find("kernels"), nullptr);
+
+    ExportMeta meta;
+    std::vector<ResultRecord> records;
+    std::string err;
+    ASSERT_TRUE(resultsFromJson(reparse(doc), meta, records, &err))
+        << err;
+    EXPECT_EQ(meta.schema_version, kResultsSchemaVersion);
+    EXPECT_TRUE(records[0].result.kernels.empty());
+}
+
+TEST(ResultsSchemaV2, Version1DocumentMustNotCarryKernels)
+{
+    Json doc = resultsToJson(testMeta(), scenarioRecords());
+    doc.set("schema_version", kResultsSchemaVersion);
+
+    ExportMeta meta;
+    std::vector<ResultRecord> records;
+    std::string err;
+    EXPECT_FALSE(resultsFromJson(reparse(doc), meta, records, &err));
+    EXPECT_NE(err.find("kernels"), std::string::npos) << err;
+}
+
+TEST(ResultsSchemaV2, Version2DocumentMustCarryKernels)
+{
+    Json doc = resultsToJson(testMeta(), testRecords());
+    doc.set("schema_version", kResultsSchemaVersionKernels);
+
+    ExportMeta meta;
+    std::vector<ResultRecord> records;
+    std::string err;
+    EXPECT_FALSE(resultsFromJson(reparse(doc), meta, records, &err));
+    EXPECT_NE(err.find("kernels"), std::string::npos) << err;
+}
+
+TEST(ResultsSchemaV2, MixedRecordsInOneExportAreFatal)
+{
+    std::vector<ResultRecord> mixed = testRecords();
+    mixed[1].result.kernels.push_back(makeKernelStats(9, 0));
+    EXPECT_DEATH((void)resultsToJson(testMeta(), mixed),
+                 "mix records");
+}
+
+TEST(ResultsSchemaV2, MergeRejectsMixedSchemaShards)
+{
+    // Shard 0 carries per-kernel stats (v2), shard 1 does not (v1):
+    // the shards came from different kinds of sweeps and must not
+    // silently merge.
+    Json merged;
+    std::string err;
+    EXPECT_FALSE(mergeResults({scenarioShardDoc(0, 2), shardDoc(1, 2)},
+                              merged, &err));
+    EXPECT_NE(err.find("schema_version"), std::string::npos) << err;
+}
+
+TEST(ResultsSchemaV2, MergedV2ShardsMatchUnshardedExport)
+{
+    Json merged;
+    std::string err;
+    ASSERT_TRUE(mergeResults({scenarioShardDoc(0, 2),
+                              scenarioShardDoc(1, 2)},
+                             merged, &err))
+        << err;
+    EXPECT_EQ(merged.dump(2),
+              resultsToJson(testMeta(), scenarioRecords()).dump(2));
+    EXPECT_EQ(merged.find("schema_version")->asU64(),
+              std::uint64_t(kResultsSchemaVersionKernels));
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Property/invariant tests for multi-kernel scenarios across the whole
+ * hierarchy:
+ *
+ *  (a) under the virtual-cache designs a warm launch never makes *more*
+ *      IOMMU TLB lookups than the cold first launch (keep-all boundary),
+ *      and on a reuse-heavy workload strictly fewer (the PR's headline
+ *      acceptance property);
+ *  (b) the per-kernel deltas of a scenario sum exactly to the run's
+ *      cumulative counters, for every exported KernelStats field;
+ *  (c) a flush-all boundary makes every kernel's delta bit-identical to
+ *      the cold first kernel — and the first kernel bit-identical to a
+ *      fresh single-kernel run of the same workload;
+ *  plus record -> replay bit-identity of whole scenarios through the
+ *  .gvct v2 format, and the scenario runner's input validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/results_io.hh"
+#include "harness/runner.hh"
+#include "mmu/boundary.hh"
+#include "trace/kernel_source.hh"
+#include "trace/trace.hh"
+
+namespace gvc
+{
+namespace
+{
+
+using trace::Trace;
+using trace::TraceReader;
+using trace::TraceWriter;
+
+RunConfig
+quick(MmuDesign design, double scale = 0.1)
+{
+    RunConfig cfg;
+    cfg.design = design;
+    cfg.workload.scale = scale;
+    return cfg;
+}
+
+RunResult
+runRounds(const std::string &workload, MmuDesign design, unsigned rounds,
+          BoundaryPolicy boundary, double scale = 0.1,
+          trace::Trace *capture = nullptr)
+{
+    ScenarioSpec spec;
+    spec.rounds = rounds;
+    spec.boundary = boundary;
+    return runScenario(workload, quick(design, scale), spec, {}, capture);
+}
+
+/** Lossless JSON dump: equal strings == every field bit-identical. */
+std::string
+dumpOf(const RunResult &r)
+{
+    return runResultToJson(r).dump();
+}
+
+// ---------------------------------------------------------------------
+// (a) Warm launches never increase IOMMU TLB traffic under VC designs
+// ---------------------------------------------------------------------
+
+class WarmNeverWorse : public ::testing::TestWithParam<MmuDesign>
+{
+};
+
+TEST_P(WarmNeverWorse, IommuLookupsUnderKeepAll)
+{
+    for (const char *w : {"pagerank", "bfs", "hotspot"}) {
+        const RunResult r =
+            runRounds(w, GetParam(), 3, BoundaryPolicy::keepAll());
+        ASSERT_EQ(r.kernels.size(), 3u) << w;
+        const std::uint64_t cold = r.kernels[0].iommu_accesses;
+        EXPECT_LE(r.kernels[1].iommu_accesses, cold) << w;
+        EXPECT_LE(r.kernels[2].iommu_accesses, cold) << w;
+    }
+}
+
+// kL1Vc32 is deliberately absent: with a tiny L1-only virtual cache,
+// warm L1 hits filter the high-locality references out of the
+// translation stream, so the per-CU TLBs stop getting their hot
+// entries refreshed and warm launches can miss *more* — the locality
+// filtering the paper warns about.  The invariant holds for the full
+// VC designs (where the FBT backs the caches) and for the larger
+// L1-only configuration.
+INSTANTIATE_TEST_SUITE_P(VcDesigns, WarmNeverWorse,
+                         ::testing::Values(MmuDesign::kVcNoOpt,
+                                           MmuDesign::kVcOpt,
+                                           MmuDesign::kL1Vc128));
+
+TEST(ScenarioAcceptance, WarmKernelsStrictlyCheaperOnReuseHeavyWorkload)
+{
+    // The PR's acceptance criterion: a VC design re-running a
+    // reuse-heavy workload on a warm hierarchy makes strictly fewer
+    // IOMMU TLB lookups in kernels 2-3 than in the cold kernel 1.
+    const RunResult r = runRounds("pagerank", MmuDesign::kVcOpt, 3,
+                                  BoundaryPolicy::keepAll(), 0.2);
+    ASSERT_EQ(r.kernels.size(), 3u);
+    const std::uint64_t cold = r.kernels[0].iommu_accesses;
+    EXPECT_LT(r.kernels[1].iommu_accesses, cold);
+    EXPECT_LT(r.kernels[2].iommu_accesses, cold);
+}
+
+// ---------------------------------------------------------------------
+// (b) Per-kernel deltas sum to the cumulative totals
+// ---------------------------------------------------------------------
+
+class DeltasSumToTotals
+    : public ::testing::TestWithParam<std::pair<MmuDesign, BoundaryPolicy>>
+{
+};
+
+TEST_P(DeltasSumToTotals, EveryExportedCounter)
+{
+    const auto [design, boundary] = GetParam();
+    const RunResult r = runRounds("bfs", design, 3, boundary);
+    ASSERT_EQ(r.kernels.size(), 3u);
+    KernelStats sum;
+    for (const KernelStats &k : r.kernels)
+        sum = kernelSum(sum, k);
+
+    EXPECT_EQ(sum.exec_ticks, r.exec_ticks);
+    EXPECT_EQ(sum.instructions, r.instructions);
+    EXPECT_EQ(sum.mem_instructions, r.mem_instructions);
+    EXPECT_EQ(sum.tlb_accesses, r.tlb_accesses);
+    EXPECT_EQ(sum.tlb_misses, r.tlb_misses);
+    EXPECT_EQ(sum.iommu_accesses, r.iommu_accesses);
+    EXPECT_EQ(sum.page_walks, r.page_walks);
+    EXPECT_EQ(sum.l1_accesses, r.l1_accesses);
+    EXPECT_EQ(sum.l2_accesses, r.l2_accesses);
+    EXPECT_EQ(sum.dram_accesses, r.dram_accesses);
+    EXPECT_EQ(sum.dram_bytes, r.dram_bytes);
+    EXPECT_EQ(sum.fbt_lookups, r.fbt_lookups);
+    EXPECT_EQ(sum.synonym_replays, r.synonym_replays);
+    // Hit counts are exported as ratios; the sums must reproduce them.
+    if (sum.l1_accesses)
+        EXPECT_DOUBLE_EQ(double(sum.l1_hits) / double(sum.l1_accesses),
+                         r.l1_hit_ratio);
+    if (sum.l2_accesses)
+        EXPECT_DOUBLE_EQ(double(sum.l2_hits) / double(sum.l2_accesses),
+                         r.l2_hit_ratio);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignsAndBoundaries, DeltasSumToTotals,
+    ::testing::Values(
+        std::make_pair(MmuDesign::kIdeal, BoundaryPolicy::keepAll()),
+        std::make_pair(MmuDesign::kBaseline512,
+                       BoundaryPolicy::shootdown()),
+        std::make_pair(MmuDesign::kVcOpt, BoundaryPolicy::keepAll()),
+        std::make_pair(MmuDesign::kVcOpt, BoundaryPolicy::flushAll()),
+        std::make_pair(MmuDesign::kL1Vc32, BoundaryPolicy::flushL1())));
+
+// ---------------------------------------------------------------------
+// (c) Flush-all boundaries make every kernel bit-identical to a cold run
+// ---------------------------------------------------------------------
+
+class FlushAllIsColdStart : public ::testing::TestWithParam<MmuDesign>
+{
+};
+
+TEST_P(FlushAllIsColdStart, KernelsMatchEachOtherAndAFreshRun)
+{
+    const RunResult r = runRounds("pagerank", GetParam(), 3,
+                                  BoundaryPolicy::flushAll());
+    ASSERT_EQ(r.kernels.size(), 3u);
+    // Kernel 0 runs on untouched state, so if flush-all truly resets
+    // the hierarchy (and scheduling is shift-invariant), kernels 1-2
+    // must reproduce it counter for counter.
+    EXPECT_EQ(r.kernels[1], r.kernels[0]);
+    EXPECT_EQ(r.kernels[2], r.kernels[0]);
+
+    // And kernel 0 is exactly a fresh single-kernel run.
+    const RunResult fresh = runWorkload("pagerank", quick(GetParam()));
+    EXPECT_EQ(r.kernels[0].exec_ticks, fresh.exec_ticks);
+    EXPECT_EQ(r.kernels[0].instructions, fresh.instructions);
+    EXPECT_EQ(r.kernels[0].mem_instructions, fresh.mem_instructions);
+    EXPECT_EQ(r.kernels[0].tlb_accesses, fresh.tlb_accesses);
+    EXPECT_EQ(r.kernels[0].tlb_misses, fresh.tlb_misses);
+    EXPECT_EQ(r.kernels[0].iommu_accesses, fresh.iommu_accesses);
+    EXPECT_EQ(r.kernels[0].page_walks, fresh.page_walks);
+    EXPECT_EQ(r.kernels[0].l1_accesses, fresh.l1_accesses);
+    EXPECT_EQ(r.kernels[0].l2_accesses, fresh.l2_accesses);
+    EXPECT_EQ(r.kernels[0].dram_accesses, fresh.dram_accesses);
+    EXPECT_EQ(r.kernels[0].dram_bytes, fresh.dram_bytes);
+    EXPECT_EQ(r.kernels[0].fbt_lookups, fresh.fbt_lookups);
+    EXPECT_EQ(r.kernels[0].synonym_replays, fresh.synonym_replays);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesignFamilies, FlushAllIsColdStart,
+                         ::testing::Values(MmuDesign::kIdeal,
+                                           MmuDesign::kBaseline512,
+                                           MmuDesign::kVcOpt,
+                                           MmuDesign::kL1Vc32));
+
+// ---------------------------------------------------------------------
+// Scenario determinism and trace round trips
+// ---------------------------------------------------------------------
+
+TEST(ScenarioReplay, RecordedScenarioReplaysBitIdentically)
+{
+    for (const MmuDesign d :
+         {MmuDesign::kBaseline512, MmuDesign::kVcOpt}) {
+        RunConfig cfg = quick(d);
+        ScenarioSpec spec;
+        spec.rounds = 3;
+        spec.boundary = BoundaryPolicy::shootdown();
+        Trace recorded;
+        const RunResult live =
+            runScenario("pagerank", cfg, spec, {}, &recorded);
+        ASSERT_EQ(live.kernels.size(), 3u);
+        EXPECT_EQ(recorded.boundaries.size(), 2u);
+
+        // Through the v2 binary format and back.
+        const auto bytes = TraceWriter::serialize(recorded);
+        EXPECT_EQ(bytes[4], trace::kTraceVersionScenario);
+        Trace parsed;
+        std::string err;
+        ASSERT_TRUE(TraceReader::parse(bytes.data(), bytes.size(),
+                                       parsed, &err))
+            << err;
+
+        // The replay must reproduce cumulative *and* per-kernel stats
+        // bit for bit (the JSON dump includes the kernels array).
+        trace::TraceKernelSource source(
+            std::make_shared<const Trace>(parsed));
+        const RunResult replayed = runSource(source, cfg);
+        EXPECT_EQ(dumpOf(live), dumpOf(replayed)) << designName(d);
+    }
+}
+
+TEST(ScenarioReplay, DeterministicAcrossRuns)
+{
+    const RunResult a = runRounds("kmeans", MmuDesign::kVcOpt, 3,
+                                  BoundaryPolicy::flushL1());
+    const RunResult b = runRounds("kmeans", MmuDesign::kVcOpt, 3,
+                                  BoundaryPolicy::flushL1());
+    EXPECT_EQ(dumpOf(a), dumpOf(b));
+}
+
+TEST(ScenarioReplay, SingleRoundHasNoPerKernelStats)
+{
+    const RunResult r = runRounds("hotspot", MmuDesign::kIdeal, 1,
+                                  BoundaryPolicy::keepAll());
+    EXPECT_TRUE(r.kernels.empty());
+    // ...and matches a plain run exactly.
+    const RunResult plain =
+        runWorkload("hotspot", quick(MmuDesign::kIdeal));
+    EXPECT_EQ(dumpOf(r), dumpOf(plain));
+}
+
+TEST(ScenarioValidation, RejectsRetilingAScenarioTrace)
+{
+    RunConfig cfg = quick(MmuDesign::kIdeal, 0.05);
+    ScenarioSpec spec;
+    spec.rounds = 2;
+    Trace recorded;
+    (void)runScenario("hotspot", cfg, spec, {}, &recorded);
+    const std::string path =
+        ::testing::TempDir() + "scenario-retile.gvct";
+    std::string err;
+    ASSERT_TRUE(TraceWriter::writeFile(path, recorded, &err)) << err;
+
+    RunConfig replay = quick(MmuDesign::kIdeal, 0.05);
+    replay.trace_in = path;
+    EXPECT_DEATH((void)runScenario("", replay, spec),
+                 "already carries kernel boundaries");
+    std::remove(path.c_str());
+}
+
+TEST(ScenarioValidation, RejectsZeroRounds)
+{
+    ScenarioSpec spec;
+    spec.rounds = 0;
+    EXPECT_DEATH(
+        (void)runScenario("hotspot", quick(MmuDesign::kIdeal, 0.05),
+                          spec),
+        "rounds");
+}
+
+// ---------------------------------------------------------------------
+// Boundary-policy plumbing sanity
+// ---------------------------------------------------------------------
+
+TEST(BoundaryPolicyCodec, EncodeDecodeRoundTripsEveryValidByte)
+{
+    for (std::uint8_t b = 0; b < BoundaryPolicy::kBoundaryPolicyLimit;
+         ++b) {
+        const auto p = BoundaryPolicy::decode(b);
+        ASSERT_TRUE(p.has_value()) << unsigned(b);
+        EXPECT_EQ(p->encode(), b);
+    }
+    EXPECT_FALSE(
+        BoundaryPolicy::decode(BoundaryPolicy::kBoundaryPolicyLimit));
+    EXPECT_FALSE(BoundaryPolicy::decode(0xff));
+}
+
+TEST(BoundaryPolicyCodec, PresetNamesRoundTrip)
+{
+    for (const char *name :
+         {"keep-all", "flush-l1", "flush-all", "shootdown"}) {
+        BoundaryPolicy p;
+        ASSERT_TRUE(boundaryPolicyFromName(name, p)) << name;
+        EXPECT_STREQ(boundaryPolicyName(p), name);
+    }
+    BoundaryPolicy p;
+    EXPECT_FALSE(boundaryPolicyFromName("nonsense", p));
+}
+
+TEST(BoundaryEffects, ShootdownForcesBaselineRewalks)
+{
+    // A shootdown boundary must cost the baseline real translation
+    // work: warm kernels re-walk, so total page walks exceed keep-all's.
+    const RunResult keep = runRounds("pagerank", MmuDesign::kBaseline512,
+                                     3, BoundaryPolicy::keepAll());
+    const RunResult shot = runRounds("pagerank", MmuDesign::kBaseline512,
+                                     3, BoundaryPolicy::shootdown());
+    EXPECT_GT(shot.page_walks, keep.page_walks);
+}
+
+} // namespace
+} // namespace gvc

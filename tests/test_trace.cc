@@ -11,10 +11,12 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/results_io.hh"
 #include "harness/sweep.hh"
+#include "mmu/boundary.hh"
 #include "trace/kernel_source.hh"
 #include "trace/trace.hh"
 
@@ -159,12 +161,100 @@ TEST(TraceFormat, RejectsBadMagic)
 TEST(TraceFormat, RejectsUnsupportedVersion)
 {
     auto bytes = TraceWriter::serialize(sampleTrace());
-    bytes[4] = std::uint8_t(trace::kTraceVersion + 1);
+    bytes[4] = std::uint8_t(trace::kTraceVersionScenario + 1);
     Trace out;
     std::string err;
     EXPECT_FALSE(TraceReader::parse(bytes.data(), bytes.size(), out,
                                     &err));
     EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+/** sampleTrace() tiled to three kernels with boundaries after 0 and 1. */
+Trace
+sampleScenarioTrace()
+{
+    Trace t = sampleTrace();
+    t.kernels.push_back(t.kernels[0]);
+    t.kernels.push_back(t.kernels[0]);
+    t.boundaries.push_back({0, BoundaryPolicy::keepAll().encode()});
+    t.boundaries.push_back({1, BoundaryPolicy::flushAll().encode()});
+    return t;
+}
+
+TEST(TraceFormat, BoundaryFreeTraceSerializesAsVersion1)
+{
+    const auto bytes = TraceWriter::serialize(sampleTrace());
+    EXPECT_EQ(bytes[4], trace::kTraceVersion);
+}
+
+TEST(TraceFormat, ScenarioRoundTripSerializesAsVersion2)
+{
+    const Trace t = sampleScenarioTrace();
+    const auto bytes = TraceWriter::serialize(t);
+    EXPECT_EQ(bytes[4], trace::kTraceVersionScenario);
+
+    Trace parsed;
+    std::string err;
+    ASSERT_TRUE(TraceReader::parse(bytes.data(), bytes.size(), parsed,
+                                   &err))
+        << err;
+    ASSERT_EQ(parsed.boundaries.size(), t.boundaries.size());
+    for (std::size_t i = 0; i < t.boundaries.size(); ++i) {
+        EXPECT_EQ(parsed.boundaries[i].kernel, t.boundaries[i].kernel);
+        EXPECT_EQ(parsed.boundaries[i].policy, t.boundaries[i].policy);
+    }
+    EXPECT_EQ(TraceWriter::serialize(parsed), bytes);
+    EXPECT_EQ(trace::traceDigest(parsed), trace::traceDigest(t));
+}
+
+TEST(TraceFormat, RejectsOutOfOrderBoundaries)
+{
+    Trace t = sampleScenarioTrace();
+    std::swap(t.boundaries[0], t.boundaries[1]);
+    const auto bytes = TraceWriter::serialize(t);
+    Trace out;
+    std::string err;
+    EXPECT_FALSE(TraceReader::parse(bytes.data(), bytes.size(), out,
+                                    &err));
+    EXPECT_NE(err.find("strictly increasing"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, RejectsDuplicateBoundaryIndices)
+{
+    Trace t = sampleScenarioTrace();
+    t.boundaries[1].kernel = t.boundaries[0].kernel;
+    const auto bytes = TraceWriter::serialize(t);
+    Trace out;
+    std::string err;
+    EXPECT_FALSE(TraceReader::parse(bytes.data(), bytes.size(), out,
+                                    &err));
+    EXPECT_NE(err.find("strictly increasing"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, RejectsBoundaryAfterLastKernel)
+{
+    Trace t = sampleScenarioTrace();
+    // A boundary sits *between* launches, so one after the final
+    // kernel has nothing to precede.
+    t.boundaries[1].kernel = t.kernels.size() - 1;
+    const auto bytes = TraceWriter::serialize(t);
+    Trace out;
+    std::string err;
+    EXPECT_FALSE(TraceReader::parse(bytes.data(), bytes.size(), out,
+                                    &err));
+    EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+}
+
+TEST(TraceFormat, RejectsInvalidBoundaryPolicyByte)
+{
+    Trace t = sampleScenarioTrace();
+    t.boundaries[0].policy = BoundaryPolicy::kBoundaryPolicyLimit;
+    const auto bytes = TraceWriter::serialize(t);
+    Trace out;
+    std::string err;
+    EXPECT_FALSE(TraceReader::parse(bytes.data(), bytes.size(), out,
+                                    &err));
+    EXPECT_NE(err.find("policy"), std::string::npos) << err;
 }
 
 TEST(TraceFormat, RejectsCorruptBody)

@@ -20,6 +20,7 @@
 #include "harness/energy.hh"
 #include "harness/results_io.hh"
 #include "harness/runner.hh"
+#include "mmu/boundary.hh"
 
 using namespace gvc;
 
@@ -35,6 +36,8 @@ struct Options
     std::string trace_out; ///< Capture the run into this trace file.
     std::string json_out;  ///< Emit the RunResult as JSON (path or -).
     bool dump_stats = false;
+    /** Multi-kernel scenario: rounds of the workload plus the policy. */
+    ScenarioSpec scenario;
 };
 
 [[noreturn]] void
@@ -55,9 +58,15 @@ usage(int code)
         "      --fbt-entries N     FBT entries (raw mode)\n"
         "      --remap-entries N   synonym remap table entries\n"
         "      --cus N             number of compute units\n"
+        "      --kernels N         run the workload N times back-to-back\n"
+        "                          on one warm memory system (scenario)\n"
+        "      --boundary NAME     policy between kernels: keep-all |\n"
+        "                          flush-l1 | flush-all | shootdown\n"
         "      --trace-out PATH    capture the workload into a trace file\n"
         "      --trace-in PATH     replay a trace file (ignores -w/--scale/\n"
-        "                          --seed; metadata comes from the trace)\n"
+        "                          --seed; metadata comes from the trace);\n"
+        "                          a scenario trace (.gvct v2) replays its\n"
+        "                          kernel boundaries automatically\n"
         "      --json PATH|-       write the RunResult as JSON\n"
         "      --stats             dump the full statistics registry\n"
         "      --list              list workloads and exit\n"
@@ -121,6 +130,15 @@ parse(int argc, char **argv)
                 parseUnsigned("--remap-entries", need(i));
         } else if (a == "--cus") {
             opt.cfg.soc.gpu.num_cus = parseUnsigned("--cus", need(i));
+        } else if (a == "--kernels") {
+            opt.scenario.rounds = parseUnsigned("--kernels", need(i));
+            if (opt.scenario.rounds == 0)
+                fatal("--kernels: must be >= 1");
+        } else if (a == "--boundary") {
+            const std::string name = need(i);
+            if (!boundaryPolicyFromName(name, opt.scenario.boundary))
+                fatal("--boundary: unknown policy '" + name +
+                      "' (keep-all | flush-l1 | flush-all | shootdown)");
         } else if (a == "--trace-out") {
             opt.trace_out = need(i);
         } else if (a == "--trace-in") {
@@ -143,22 +161,28 @@ int
 main(int argc, char **argv)
 {
     const Options opt = parse(argc, argv);
+    const bool scenario = opt.scenario.rounds > 1;
     if (opt.cfg.trace_in.empty()) {
-        std::printf("gvc_run: %s under %s (scale %.2f, seed %llu)\n\n",
+        std::printf("gvc_run: %s under %s (scale %.2f, seed %llu)\n",
                     opt.workload.c_str(), designName(opt.cfg.design),
                     opt.cfg.workload.scale,
                     (unsigned long long)opt.cfg.workload.seed);
     } else {
-        std::printf("gvc_run: replaying '%s' under %s\n\n",
+        std::printf("gvc_run: replaying '%s' under %s\n",
                     opt.cfg.trace_in.c_str(),
                     designName(opt.cfg.design));
     }
+    if (scenario) {
+        std::printf("scenario: %u kernels, boundary %s\n",
+                    opt.scenario.rounds,
+                    boundaryPolicyName(opt.scenario.boundary));
+    }
+    std::printf("\n");
 
     std::string stats_dump;
     trace::Trace capture;
     trace::Trace *cap = opt.trace_out.empty() ? nullptr : &capture;
-    const RunResult r = runWorkload(
-        opt.workload, opt.cfg,
+    const InspectFn inspect =
         [&](SystemUnderTest &sut, Gpu &, SimContext &ctx) {
             if (!opt.dump_stats)
                 return;
@@ -166,8 +190,11 @@ main(int argc, char **argv)
             std::ostringstream os;
             ctx.stats.dump(os);
             stats_dump = os.str();
-        },
-        cap);
+        };
+    const RunResult r =
+        scenario ? runScenario(opt.workload, opt.cfg, opt.scenario,
+                               inspect, cap)
+                 : runWorkload(opt.workload, opt.cfg, inspect, cap);
     if (cap) {
         std::string err;
         if (!trace::TraceWriter::writeFile(opt.trace_out, capture, &err))
@@ -242,6 +269,29 @@ main(int argc, char **argv)
         std::printf("  synonym replays/faults  : %llu / %llu\n",
                     (unsigned long long)r.synonym_replays,
                     (unsigned long long)r.rw_faults);
+    }
+    if (!r.kernels.empty()) {
+        std::printf("per-kernel (deltas between boundaries)\n");
+        std::printf("  %3s %12s %12s %12s %10s %8s %8s\n", "k",
+                    "cycles", "instructions", "iommu_acc", "walks",
+                    "l1hit%", "l2hit%");
+        for (std::size_t k = 0; k < r.kernels.size(); ++k) {
+            const KernelStats &ks = r.kernels[k];
+            const double l1 =
+                ks.l1_accesses
+                    ? 100.0 * double(ks.l1_hits) / double(ks.l1_accesses)
+                    : 0.0;
+            const double l2 =
+                ks.l2_accesses
+                    ? 100.0 * double(ks.l2_hits) / double(ks.l2_accesses)
+                    : 0.0;
+            std::printf("  %3zu %12llu %12llu %12llu %10llu %7.1f%% "
+                        "%7.1f%%\n",
+                        k, (unsigned long long)ks.exec_ticks,
+                        (unsigned long long)ks.instructions,
+                        (unsigned long long)ks.iommu_accesses,
+                        (unsigned long long)ks.page_walks, l1, l2);
+        }
     }
     if (opt.dump_stats) {
         std::printf("statistics registry\n%s", stats_dump.c_str());

@@ -21,6 +21,7 @@
 #include "harness/cli.hh"
 #include "harness/results_io.hh"
 #include "harness/runner.hh"
+#include "mmu/boundary.hh"
 
 using namespace gvc;
 
@@ -142,7 +143,7 @@ cmdInfo(int argc, char **argv)
         fatal("info: " + err);
 
     std::printf("%s\n", path.c_str());
-    std::printf("  format version : %u\n", trace::kTraceVersion);
+    std::printf("  format version : %u\n", t.formatVersion());
     std::printf("  workload       : %s\n", t.workload.c_str());
     std::printf("  scale          : %g\n", t.params.scale);
     std::printf("  seed           : %llu\n",
@@ -151,6 +152,15 @@ cmdInfo(int argc, char **argv)
     std::printf("  graph          : %s\n", graphName(t.params.graph));
     std::printf("  vm ops         : %zu\n", t.vm_ops.size());
     std::printf("  kernels        : %zu\n", t.kernels.size());
+    if (!t.boundaries.empty()) {
+        std::printf("  boundaries     : %zu\n", t.boundaries.size());
+        for (const auto &b : t.boundaries) {
+            const auto policy = BoundaryPolicy::decode(b.policy);
+            std::printf("    after kernel %llu: %s\n",
+                        (unsigned long long)b.kernel,
+                        policy ? boundaryPolicyName(*policy) : "?");
+        }
+    }
     std::printf("  warps          : %llu\n",
                 (unsigned long long)t.totalWarps());
     std::printf("  instructions   : %llu\n",
