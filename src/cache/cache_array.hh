@@ -66,9 +66,8 @@ class CacheArray
             assoc = unsigned(lines);
         num_sets_ = std::size_t(lines / assoc);
         assoc_ = unsigned(lines / num_sets_);
-        sets_.resize(num_sets_);
-        for (auto &set : sets_)
-            set.reserve(assoc_);
+        lines_.resize(num_sets_ * assoc_);
+        set_len_.assign(num_sets_, 0);
     }
 
     /**
@@ -100,9 +99,11 @@ class CacheArray
     present(Asid asid, std::uint64_t addr) const
     {
         const std::uint64_t key = lineKey(addr);
-        const auto &set = sets_[setIndex(key)];
-        for (const auto &l : set)
-            if (l.valid && l.asid == asid && l.key == key)
+        const std::size_t set = setIndex(key);
+        const Line *base = setBase(set);
+        for (unsigned i = 0; i < set_len_[set]; ++i)
+            if (base[i].valid && base[i].asid == asid &&
+                base[i].key == key)
                 return true;
         return false;
     }
@@ -112,10 +113,12 @@ class CacheArray
     linePerms(Asid asid, std::uint64_t addr) const
     {
         const std::uint64_t key = lineKey(addr);
-        const auto &set = sets_[setIndex(key)];
-        for (const auto &l : set)
-            if (l.valid && l.asid == asid && l.key == key)
-                return l.perms;
+        const std::size_t set = setIndex(key);
+        const Line *base = setBase(set);
+        for (unsigned i = 0; i < set_len_[set]; ++i)
+            if (base[i].valid && base[i].asid == asid &&
+                base[i].key == key)
+                return base[i].perms;
         return std::nullopt;
     }
 
@@ -130,9 +133,20 @@ class CacheArray
     {
         ++fills_;
         const std::uint64_t key = lineKey(addr);
-        auto &set = sets_[setIndex(key)];
-        for (auto &l : set) {
-            if (l.valid && l.asid == asid && l.key == key) {
+        const std::size_t set = setIndex(key);
+        Line *base = setBase(set);
+        const unsigned len = set_len_[set];
+        // Single pass: the hit scan also notes the first invalid way so
+        // the miss path below needs no second walk.
+        unsigned free_way = len;
+        for (unsigned i = 0; i < len; ++i) {
+            Line &l = base[i];
+            if (!l.valid) {
+                if (free_way == len)
+                    free_way = i;
+                continue;
+            }
+            if (l.asid == asid && l.key == key) {
                 l.perms = perms;
                 l.dirty = l.dirty || dirty;
                 l.lru = ++lru_clock_;
@@ -151,22 +165,21 @@ class CacheArray
         fresh.lru = ++lru_clock_;
 
         // Reuse a way freed by invalidation before displacing anyone.
-        for (auto &l : set) {
-            if (!l.valid) {
-                l = fresh;
-                return std::nullopt;
-            }
-        }
-        if (set.size() < assoc_) {
-            set.push_back(fresh);
+        if (free_way < len) {
+            base[free_way] = fresh;
             return std::nullopt;
         }
-        std::size_t victim = 0;
-        for (std::size_t i = 1; i < set.size(); ++i)
-            if (set[i].lru < set[victim].lru)
+        if (len < assoc_) {
+            base[len] = fresh;
+            ++set_len_[set];
+            return std::nullopt;
+        }
+        unsigned victim = 0;
+        for (unsigned i = 1; i < len; ++i)
+            if (base[i].lru < base[victim].lru)
                 victim = i;
-        const auto evicted = retire(set[victim]);
-        set[victim] = fresh;
+        const auto evicted = retire(base[victim]);
+        base[victim] = fresh;
         ++evictions_;
         return evicted;
     }
@@ -176,8 +189,10 @@ class CacheArray
     invalidateLine(Asid asid, std::uint64_t addr)
     {
         const std::uint64_t key = lineKey(addr);
-        auto &set = sets_[setIndex(key)];
-        for (auto &l : set) {
+        const std::size_t set = setIndex(key);
+        Line *base = setBase(set);
+        for (unsigned i = 0; i < set_len_[set]; ++i) {
+            Line &l = base[i];
             if (l.valid && l.asid == asid && l.key == key) {
                 const auto info = retire(l);
                 l.valid = false;
@@ -216,8 +231,10 @@ class CacheArray
     invalidateAll(const std::function<void(const CacheLineInfo &)>
                       &on_evict = {})
     {
-        for (auto &set : sets_) {
-            for (auto &l : set) {
+        for (std::size_t set = 0; set < num_sets_; ++set) {
+            Line *base = setBase(set);
+            for (unsigned i = 0; i < set_len_[set]; ++i) {
+                Line &l = base[i];
                 if (!l.valid)
                     continue;
                 const auto info = retire(l);
@@ -226,7 +243,7 @@ class CacheArray
                 if (on_evict && info)
                     on_evict(*info);
             }
-            set.clear();
+            set_len_[set] = 0;
         }
     }
 
@@ -234,8 +251,10 @@ class CacheArray
     void
     forEachLine(const std::function<void(const CacheLineInfo &)> &fn) const
     {
-        for (const auto &set : sets_) {
-            for (const auto &l : set) {
+        for (std::size_t set = 0; set < num_sets_; ++set) {
+            const Line *base = setBase(set);
+            for (unsigned i = 0; i < set_len_[set]; ++i) {
+                const Line &l = base[i];
                 if (l.valid)
                     fn(CacheLineInfo{l.asid, unKey(l.key), l.perms,
                                      l.dirty});
@@ -249,10 +268,13 @@ class CacheArray
     {
         if (!params_.track_lifetimes)
             return;
-        for (const auto &set : sets_)
-            for (const auto &l : set)
-                if (l.valid && l.last_used > l.inserted)
-                    lifetimes_.record(l.last_used - l.inserted);
+        for (std::size_t set = 0; set < num_sets_; ++set) {
+            const Line *base = setBase(set);
+            for (unsigned i = 0; i < set_len_[set]; ++i)
+                if (base[i].valid && base[i].last_used > base[i].inserted)
+                    lifetimes_.record(base[i].last_used -
+                                      base[i].inserted);
+        }
     }
 
     std::uint64_t accesses() const { return accesses_.value; }
@@ -279,9 +301,11 @@ class CacheArray
     residentLines() const
     {
         std::size_t n = 0;
-        for (const auto &set : sets_)
-            for (const auto &l : set)
-                n += l.valid ? 1 : 0;
+        for (std::size_t set = 0; set < num_sets_; ++set) {
+            const Line *base = setBase(set);
+            for (unsigned i = 0; i < set_len_[set]; ++i)
+                n += base[i].valid ? 1 : 0;
+        }
         return n;
     }
 
@@ -312,13 +336,22 @@ class CacheArray
 
     std::size_t setIndex(std::uint64_t key) const { return key % num_sets_; }
 
+    Line *setBase(std::size_t set) { return lines_.data() + set * assoc_; }
+    const Line *
+    setBase(std::size_t set) const
+    {
+        return lines_.data() + set * assoc_;
+    }
+
     Line *
     find(Asid asid, std::uint64_t key)
     {
-        auto &set = sets_[setIndex(key)];
-        for (auto &l : set)
-            if (l.valid && l.asid == asid && l.key == key)
-                return &l;
+        const std::size_t set = setIndex(key);
+        Line *base = setBase(set);
+        for (unsigned i = 0; i < set_len_[set]; ++i)
+            if (base[i].valid && base[i].asid == asid &&
+                base[i].key == key)
+                return &base[i];
         return nullptr;
     }
 
@@ -334,7 +367,12 @@ class CacheArray
     CacheParams params_;
     std::size_t num_sets_ = 1;
     unsigned assoc_ = 1;
-    std::vector<std::vector<Line>> sets_;
+    /// Flat num_sets x assoc way storage: one contiguous block instead
+    /// of a heap vector per set, so a set scan is a single cache-friendly
+    /// stride.  set_len_ mirrors the old per-set vector's growth: ways
+    /// [0, set_len_) have been populated at least once.
+    std::vector<Line> lines_;
+    std::vector<std::uint16_t> set_len_;
     std::uint64_t lru_clock_ = 0;
 
     Counter accesses_;

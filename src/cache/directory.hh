@@ -20,6 +20,7 @@
 #include <unordered_map>
 
 #include "mem/dram.hh"
+#include "sim/callback.hh"
 #include "sim/debug.hh"
 #include "sim/sim_context.hh"
 #include "sim/types.hh"
@@ -71,7 +72,7 @@ class Directory
      */
     void
     fetch(DirNode requester, Paddr line, bool exclusive,
-          std::function<void()> done)
+          Callback done)
     {
         ++fetches_;
         ctx_.eq.scheduleIn(params_.latency,
@@ -133,7 +134,7 @@ class Directory
 
     void
     fetchAtDirectory(DirNode requester, Paddr line, bool exclusive,
-                     std::function<void()> done)
+                     Callback done)
     {
         Entry &e = entries_[lineKey(line)];
         const DirNode other = requester == DirNode::kGpu

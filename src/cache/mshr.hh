@@ -9,11 +9,11 @@
 #define GVC_CACHE_MSHR_HH
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/stats.hh"
 
 namespace gvc
@@ -28,7 +28,7 @@ namespace gvc
 class MshrTable
 {
   public:
-    using WakeFn = std::function<void()>;
+    using WakeFn = Callback;
 
     explicit MshrTable(std::size_t max_entries = 0)
         : max_entries_(max_entries)
@@ -44,11 +44,12 @@ class MshrTable
 
     /**
      * Try to allocate/merge a miss on @p key.  For kSecondary, @p on_fill
-     * is queued; for kPrimary it is NOT queued (the caller drives its own
-     * completion).
+     * is consumed (queued); for kPrimary/kFull it is left untouched in
+     * the caller's hands (the primary drives its own completion and may
+     * re-offer the same callback as a secondary).
      */
     Result
-    allocate(std::uint64_t key, WakeFn on_fill)
+    allocate(std::uint64_t key, WakeFn &&on_fill)
     {
         auto it = entries_.find(key);
         if (it != entries_.end()) {

@@ -66,7 +66,7 @@ class VirtualCacheSystem final : public GpuMemInterface
           l2_(CacheParams{cfg.l2_size, cfg.l2_assoc, unsigned(kLineSize),
                           /*write_back=*/true, /*write_allocate=*/true,
                           cfg.track_lifetimes}),
-          fbt_(cfg.fbt), iommu_(ctx, vm, dram, cfg.iommu),
+          fbt_(cfg.fbt), iommu_(ctx, vm, dram, cfg.iommuParams()),
           remap_(cfg.synonym_remap_entries),
           injection_(ctx, cfg.gpu.num_cus, cfg.cu_injection_rate)
     {
@@ -109,7 +109,7 @@ class VirtualCacheSystem final : public GpuMemInterface
 
     void
     access(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
-           std::function<void()> done) override
+           Callback done) override
     {
         // §4.3 extension: rewrite known synonyms to their leading name
         // before the L1 lookup, so they hit the caches directly.
@@ -260,7 +260,7 @@ class VirtualCacheSystem final : public GpuMemInterface
 
     void
     l1Access(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
-             std::function<void()> done)
+             Callback done)
     {
         const auto perms = l1s_[cu_id]->linePerms(asid, line_va);
         const bool usable =
@@ -289,7 +289,7 @@ class VirtualCacheSystem final : public GpuMemInterface
 
     void
     sendToL2(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
-             std::function<void()> done)
+             Callback done)
     {
         const Tick arrive = ctx_.now() + cfg_.cu_to_l2;
         const unsigned bank =
@@ -308,7 +308,7 @@ class VirtualCacheSystem final : public GpuMemInterface
 
     void
     l2Access(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
-             std::function<void()> done)
+             Callback done)
     {
         const auto perms = l2_.linePerms(asid, line_va);
         const bool usable =
@@ -329,8 +329,10 @@ class VirtualCacheSystem final : public GpuMemInterface
         // the IOMMU is consulted in this design).
         const std::uint64_t key = mshrKey(asid, line_va);
         pending_store_[key] = pending_store_[key] || is_store;
-        auto waiter = [this, cu_id, asid, line_va, is_store,
-                       done = std::move(done)]() mutable {
+        // WakeFn up front: a raw lambda would convert through a
+        // temporary on the first allocate() and lose its captures.
+        MshrTable::WakeFn waiter = [this, cu_id, asid, line_va, is_store,
+                                    done = std::move(done)]() mutable {
             if (!is_store) {
                 // Fill the L1 only if the data landed under this VA
                 // (i.e., this VA is the leading VA; synonym replays
@@ -340,7 +342,8 @@ class VirtualCacheSystem final : public GpuMemInterface
             }
             ctx_.eq.scheduleIn(cfg_.cu_to_l2, std::move(done));
         };
-        if (mshrs_.allocate(key, waiter) == MshrTable::Result::kSecondary)
+        if (mshrs_.allocate(key, std::move(waiter)) ==
+            MshrTable::Result::kSecondary)
             return;
         mshrs_.allocate(key, std::move(waiter));
 
@@ -614,7 +617,7 @@ class VirtualCacheSystem final : public GpuMemInterface
     std::unordered_map<std::uint64_t, bool> pending_store_;
     std::unordered_map<
         std::uint64_t,
-        std::vector<std::function<void(const IommuResponse &)>>>
+        std::vector<SmallFunc<void(const IommuResponse &)>>>
         xlate_pending_;
     Fbt fbt_;
     Iommu iommu_;

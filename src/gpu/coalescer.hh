@@ -25,15 +25,24 @@ class Coalescer
 {
   public:
     /**
-     * Coalesce @p lane_addrs into unique line-aligned addresses, first
-     * occurrence first.  Also updates divergence statistics.
+     * Coalesce the batch of @p n lane addresses at @p lane_addrs into
+     * unique line-aligned addresses, first occurrence first.  Also
+     * updates divergence statistics.
+     *
+     * The returned reference aliases internal scratch storage: it stays
+     * valid only until the next coalesce() call and must not be retained
+     * across one.
      */
-    std::vector<Vaddr>
-    coalesce(const std::vector<Vaddr> &lane_addrs)
+    const std::vector<Vaddr> &
+    coalesce(const Vaddr *lane_addrs, std::size_t n)
     {
         scratch_.clear();
-        for (const Vaddr va : lane_addrs) {
-            const Vaddr line = lineAlign(va);
+        for (std::size_t i = 0; i < n; ++i) {
+            const Vaddr line = lineAlign(lane_addrs[i]);
+            // Adjacent lanes usually touch the same line; checking the
+            // most recent emission first short-circuits the common case.
+            if (!scratch_.empty() && scratch_.back() == line)
+                continue;
             if (std::find(scratch_.begin(), scratch_.end(), line) ==
                 scratch_.end()) {
                 scratch_.push_back(line);
@@ -46,6 +55,8 @@ class Coalescer
         pages_scratch_.clear();
         for (const Vaddr line : scratch_) {
             const Vpn vpn = pageOf(line);
+            if (!pages_scratch_.empty() && pages_scratch_.back() == vpn)
+                continue;
             if (std::find(pages_scratch_.begin(), pages_scratch_.end(),
                           vpn) == pages_scratch_.end()) {
                 pages_scratch_.push_back(vpn);
@@ -53,6 +64,13 @@ class Coalescer
         }
         pages_per_inst_.sample(double(pages_scratch_.size()));
         return scratch_;
+    }
+
+    /** Overload for callers holding a vector. */
+    const std::vector<Vaddr> &
+    coalesce(const std::vector<Vaddr> &lane_addrs)
+    {
+        return coalesce(lane_addrs.data(), lane_addrs.size());
     }
 
     std::uint64_t instructions() const { return instructions_.value; }

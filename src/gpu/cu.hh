@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "gpu/coalescer.hh"
+#include "sim/callback.hh"
 #include "gpu/warp_inst.hh"
 #include "sim/sim_context.hh"
 
@@ -64,7 +65,7 @@ class GpuMemInterface
      *                been accepted by the hierarchy.
      */
     virtual void access(unsigned cu_id, Asid asid, Vaddr line_va,
-                        bool is_store, std::function<void()> done) = 0;
+                        bool is_store, Callback done) = 0;
 };
 
 /** One compute unit. */
@@ -308,7 +309,11 @@ class ComputeUnit
     issueGlobal(Slot &s, const WarpInst &inst, bool is_store)
     {
         ++mem_insts_;
-        const auto lines = coalescer_.coalesce(inst.lane_addrs);
+        // Reference into the coalescer's scratch: valid because nothing
+        // below re-enters coalesce() — mem_.access completions arrive
+        // through the event queue, never synchronously.
+        const auto &lines = coalescer_.coalesce(inst.lane_addrs.data(),
+                                                inst.lane_addrs.size());
         if (lines.empty()) {
             s.ready_at = ctx_.now() + 1;
             return;

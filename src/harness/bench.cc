@@ -1,0 +1,447 @@
+#include "harness/bench.hh"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "harness/sweep.hh"
+#include "sim/logging.hh"
+#include "trace/kernel_source.hh"
+
+namespace gvc
+{
+
+namespace
+{
+
+/** The matrix cells: the golden-stats grid, so bench and golden-stats
+ *  baselines can never disagree about which configurations matter. */
+const char *const kBenchWorkloads[] = {"pagerank", "bfs", "hotspot"};
+const MmuDesign kBenchDesigns[] = {MmuDesign::kBaseline512,
+                                   MmuDesign::kVcOpt, MmuDesign::kL1Vc32};
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+RunConfig
+cellConfig(const BenchConfig &cfg, const BenchOptions &opts)
+{
+    MmuDesign design;
+    if (!designFromName(cfg.design, design))
+        fatal("gvc_bench: unknown design '" + cfg.design + "'");
+    RunConfig rc;
+    rc.design = design;
+    rc.workload.scale = opts.scale;
+    rc.workload.seed = opts.seed;
+    return rc;
+}
+
+/** In-memory captured traces for the replay configs, one per workload,
+ *  shared across trials so capture cost never pollutes timing. */
+class ReplayTraceCache
+{
+  public:
+    std::shared_ptr<const trace::Trace>
+    get(const std::string &workload, const BenchOptions &opts)
+    {
+        auto it = traces_.find(workload);
+        if (it != traces_.end())
+            return it->second;
+        WorkloadParams params;
+        params.scale = opts.scale;
+        params.seed = opts.seed;
+        auto trace = std::make_shared<trace::Trace>(
+            trace::captureWorkloadTrace(workload, params));
+        traces_.emplace(workload, trace);
+        return trace;
+    }
+
+  private:
+    std::unordered_map<std::string, std::shared_ptr<const trace::Trace>>
+        traces_;
+};
+
+ReplayTraceCache &
+replayTraces()
+{
+    static ReplayTraceCache cache;
+    return cache;
+}
+
+BenchCounters
+runCell(const BenchConfig &cfg, const BenchOptions &opts)
+{
+    if (cfg.mode == "cold") {
+        return BenchCounters::fromResult(
+            runWorkload(cfg.workload, cellConfig(cfg, opts)));
+    }
+    if (cfg.mode == "replay") {
+        trace::TraceKernelSource source(
+            replayTraces().get(cfg.workload, opts));
+        return BenchCounters::fromResult(
+            runSource(source, cellConfig(cfg, opts)));
+    }
+    if (cfg.mode == "warm") {
+        ScenarioSpec spec;
+        spec.rounds = opts.scenario_rounds;
+        spec.boundary = BoundaryPolicy::keepAll();
+        return BenchCounters::fromResult(
+            runScenario(cfg.workload, cellConfig(cfg, opts), spec));
+    }
+    if (cfg.mode == "sweep") {
+        Sweep sweep(/*jobs=*/1);
+        sweep.setProgress(false);
+        RunConfig base;
+        base.workload.scale = opts.scale;
+        base.workload.seed = opts.seed;
+        std::vector<std::string> workloads(std::begin(kBenchWorkloads),
+                                           std::end(kBenchWorkloads));
+        std::vector<MmuDesign> designs(std::begin(kBenchDesigns),
+                                       std::end(kBenchDesigns));
+        sweep.addGrid(workloads, designs, base);
+        sweep.run();
+        BenchCounters sum;
+        for (std::size_t i = 0; i < sweep.size(); ++i)
+            sum.add(BenchCounters::fromResult(sweep.result(i)));
+        return sum;
+    }
+    fatal("gvc_bench: unknown bench mode '" + cfg.mode + "'");
+}
+
+double
+median(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    if (n == 0)
+        return 0.0;
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+} // namespace
+
+BenchOptions::BenchOptions() : seed(WorkloadParams{}.seed)
+{
+}
+
+BenchCounters
+BenchCounters::fromResult(const RunResult &r)
+{
+    BenchCounters c;
+    c.exec_ticks = r.exec_ticks;
+    c.instructions = r.instructions;
+    c.mem_instructions = r.mem_instructions;
+    c.tlb_accesses = r.tlb_accesses;
+    c.tlb_misses = r.tlb_misses;
+    c.iommu_accesses = r.iommu_accesses;
+    c.page_walks = r.page_walks;
+    c.l1_accesses = r.l1_accesses;
+    c.l2_accesses = r.l2_accesses;
+    c.dram_accesses = r.dram_accesses;
+    c.dram_bytes = r.dram_bytes;
+    c.fbt_lookups = r.fbt_lookups;
+    c.synonym_replays = r.synonym_replays;
+    return c;
+}
+
+void
+BenchCounters::add(const BenchCounters &o)
+{
+#define GVC_ADD_FIELD(name) name += o.name;
+    GVC_BENCHCOUNTER_FIELDS(GVC_ADD_FIELD)
+#undef GVC_ADD_FIELD
+}
+
+std::string
+BenchConfig::name() const
+{
+    return mode + "/" + workload + "/" + design;
+}
+
+std::vector<BenchConfig>
+benchMatrix()
+{
+    std::vector<BenchConfig> matrix;
+    for (const char *mode : {"cold", "replay", "warm"})
+        for (const char *w : kBenchWorkloads)
+            for (const MmuDesign d : kBenchDesigns)
+                matrix.push_back(BenchConfig{mode, w, designName(d)});
+    matrix.push_back(BenchConfig{"sweep", "grid", "3x3"});
+    return matrix;
+}
+
+BenchCounters
+runBenchConfigOnce(const BenchConfig &cfg, const BenchOptions &opts)
+{
+    return runCell(cfg, opts);
+}
+
+BenchReport
+runBench(const BenchOptions &opts)
+{
+    if (opts.trials == 0)
+        fatal("gvc_bench: trials must be >= 1");
+    BenchReport report;
+    report.opts = opts;
+    const auto matrix = benchMatrix();
+    for (const BenchConfig &cfg : matrix) {
+        BenchMeasurement m;
+        m.cfg = cfg;
+        for (unsigned i = 0; i < opts.warmup; ++i)
+            runCell(cfg, opts);
+        for (unsigned i = 0; i < opts.trials; ++i) {
+            const double t0 = nowMs();
+            const BenchCounters c = runCell(cfg, opts);
+            m.wall_ms.push_back(nowMs() - t0);
+            if (i == 0)
+                m.counters = c;
+            else if (c != m.counters)
+                fatal("gvc_bench: counters drifted between trials of '" +
+                      cfg.name() + "' — the simulator is nondeterministic");
+        }
+        m.median_wall_ms = median(m.wall_ms);
+        if (m.median_wall_ms > 0.0) {
+            m.warp_inst_per_sec = double(m.counters.instructions) /
+                                  (m.median_wall_ms / 1e3);
+            m.sim_cycles_per_sec = double(m.counters.exec_ticks) /
+                                   (m.median_wall_ms / 1e3);
+        }
+        m.peak_rss_kb = peakRssKb();
+        if (opts.progress) {
+            std::fprintf(stderr,
+                         "[gvc_bench] %-28s %9.1f ms  %11.0f winst/s  "
+                         "%12.0f cyc/s\n",
+                         cfg.name().c_str(), m.median_wall_ms,
+                         m.warp_inst_per_sec, m.sim_cycles_per_sec);
+        }
+        report.configs.push_back(std::move(m));
+    }
+    return report;
+}
+
+Json
+benchReportToJson(const BenchReport &report)
+{
+    Json doc = Json::object();
+    doc.set("bench_schema_version", kBenchSchemaVersion);
+    doc.set("generator", "gvc_bench");
+    doc.set("scale", report.opts.scale);
+    doc.set("seed", report.opts.seed);
+    doc.set("trials", unsigned(report.opts.trials));
+    doc.set("warmup", unsigned(report.opts.warmup));
+    doc.set("scenario_rounds", unsigned(report.opts.scenario_rounds));
+    Json configs = Json::array();
+    for (const BenchMeasurement &m : report.configs) {
+        Json j = Json::object();
+        j.set("name", m.cfg.name());
+        j.set("mode", m.cfg.mode);
+        j.set("workload", m.cfg.workload);
+        j.set("design", m.cfg.design);
+        Json counters = Json::object();
+#define GVC_EMIT_FIELD(name) counters.set(#name, m.counters.name);
+        GVC_BENCHCOUNTER_FIELDS(GVC_EMIT_FIELD)
+#undef GVC_EMIT_FIELD
+        j.set("counters", std::move(counters));
+        Json walls = Json::array();
+        for (const double ms : m.wall_ms)
+            walls.push(ms);
+        j.set("wall_ms", std::move(walls));
+        j.set("median_wall_ms", m.median_wall_ms);
+        j.set("warp_inst_per_sec", m.warp_inst_per_sec);
+        j.set("sim_cycles_per_sec", m.sim_cycles_per_sec);
+        j.set("peak_rss_kb", m.peak_rss_kb);
+        configs.push(std::move(j));
+    }
+    doc.set("configs", std::move(configs));
+    return doc;
+}
+
+namespace
+{
+
+bool
+jsonField(const Json &obj, const char *key, const Json *&out,
+          Json::Type type, std::string *err)
+{
+    const Json *v = obj.find(key);
+    if (!v || v->type() != type) {
+        if (err)
+            *err = std::string("bench json: missing or mistyped field '") +
+                   key + "'";
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace
+
+bool
+benchReportFromJson(const Json &doc, BenchReport &out, std::string *err)
+{
+    if (!doc.isObject()) {
+        if (err)
+            *err = "bench json: document is not an object";
+        return false;
+    }
+    const Json *v = nullptr;
+    if (!jsonField(doc, "bench_schema_version", v, Json::Type::kNumber,
+                   err))
+        return false;
+    if (v->asU64() != std::uint64_t(kBenchSchemaVersion)) {
+        if (err)
+            *err = "bench json: unknown bench_schema_version '" +
+                   std::to_string(v->asU64()) + "'";
+        return false;
+    }
+    if (!jsonField(doc, "generator", v, Json::Type::kString, err))
+        return false;
+    BenchReport report;
+    report.opts.progress = false;
+    if (!jsonField(doc, "scale", v, Json::Type::kNumber, err))
+        return false;
+    report.opts.scale = v->asNumber();
+    if (!jsonField(doc, "seed", v, Json::Type::kNumber, err))
+        return false;
+    report.opts.seed = v->asU64();
+    if (!jsonField(doc, "trials", v, Json::Type::kNumber, err))
+        return false;
+    report.opts.trials = unsigned(v->asU64());
+    if (!jsonField(doc, "warmup", v, Json::Type::kNumber, err))
+        return false;
+    report.opts.warmup = unsigned(v->asU64());
+    if (!jsonField(doc, "scenario_rounds", v, Json::Type::kNumber, err))
+        return false;
+    report.opts.scenario_rounds = unsigned(v->asU64());
+    const Json *configs = nullptr;
+    if (!jsonField(doc, "configs", configs, Json::Type::kArray, err))
+        return false;
+    for (std::size_t i = 0; i < configs->size(); ++i) {
+        const Json &j = configs->at(i);
+        if (!j.isObject()) {
+            if (err)
+                *err = "bench json: configs[" + std::to_string(i) +
+                       "] is not an object";
+            return false;
+        }
+        BenchMeasurement m;
+        if (!jsonField(j, "mode", v, Json::Type::kString, err))
+            return false;
+        m.cfg.mode = v->asString();
+        if (!jsonField(j, "workload", v, Json::Type::kString, err))
+            return false;
+        m.cfg.workload = v->asString();
+        if (!jsonField(j, "design", v, Json::Type::kString, err))
+            return false;
+        m.cfg.design = v->asString();
+        if (!jsonField(j, "name", v, Json::Type::kString, err))
+            return false;
+        if (v->asString() != m.cfg.name()) {
+            if (err)
+                *err = "bench json: config name '" + v->asString() +
+                       "' does not match its mode/workload/design";
+            return false;
+        }
+        const Json *counters = nullptr;
+        if (!jsonField(j, "counters", counters, Json::Type::kObject, err))
+            return false;
+#define GVC_READ_FIELD(name)                                              \
+    if (!jsonField(*counters, #name, v, Json::Type::kNumber, err))        \
+        return false;                                                     \
+    m.counters.name = v->asU64();
+        GVC_BENCHCOUNTER_FIELDS(GVC_READ_FIELD)
+#undef GVC_READ_FIELD
+        const Json *walls = nullptr;
+        if (!jsonField(j, "wall_ms", walls, Json::Type::kArray, err))
+            return false;
+        for (std::size_t k = 0; k < walls->size(); ++k)
+            m.wall_ms.push_back(walls->at(k).asNumber());
+        if (!jsonField(j, "median_wall_ms", v, Json::Type::kNumber, err))
+            return false;
+        m.median_wall_ms = v->asNumber();
+        if (!jsonField(j, "warp_inst_per_sec", v, Json::Type::kNumber,
+                       err))
+            return false;
+        m.warp_inst_per_sec = v->asNumber();
+        if (!jsonField(j, "sim_cycles_per_sec", v, Json::Type::kNumber,
+                       err))
+            return false;
+        m.sim_cycles_per_sec = v->asNumber();
+        if (!jsonField(j, "peak_rss_kb", v, Json::Type::kNumber, err))
+            return false;
+        m.peak_rss_kb = v->asU64();
+        report.configs.push_back(std::move(m));
+    }
+    out = std::move(report);
+    return true;
+}
+
+bool
+benchCountersMatch(const BenchReport &baseline, const BenchReport &current,
+                   std::string &diff)
+{
+    diff.clear();
+    auto mismatch = [&diff](const std::string &what,
+                            const std::string &base,
+                            const std::string &cur) {
+        diff += "  " + what + ": baseline " + base + ", current " + cur +
+                "\n";
+    };
+    if (baseline.opts.scale != current.opts.scale)
+        mismatch("scale", std::to_string(baseline.opts.scale),
+                 std::to_string(current.opts.scale));
+    if (baseline.opts.seed != current.opts.seed)
+        mismatch("seed", std::to_string(baseline.opts.seed),
+                 std::to_string(current.opts.seed));
+    if (baseline.opts.scenario_rounds != current.opts.scenario_rounds)
+        mismatch("scenario_rounds",
+                 std::to_string(baseline.opts.scenario_rounds),
+                 std::to_string(current.opts.scenario_rounds));
+
+    for (const BenchMeasurement &b : baseline.configs) {
+        const BenchMeasurement *c = nullptr;
+        for (const BenchMeasurement &m : current.configs)
+            if (m.cfg.name() == b.cfg.name())
+                c = &m;
+        if (!c) {
+            mismatch("config " + b.cfg.name(), "present", "absent");
+            continue;
+        }
+#define GVC_DIFF_FIELD(field)                                             \
+    if (b.counters.field != c->counters.field)                            \
+        mismatch(b.cfg.name() + "." #field,                               \
+                 std::to_string(b.counters.field),                        \
+                 std::to_string(c->counters.field));
+        GVC_BENCHCOUNTER_FIELDS(GVC_DIFF_FIELD)
+#undef GVC_DIFF_FIELD
+    }
+    for (const BenchMeasurement &m : current.configs) {
+        bool found = false;
+        for (const BenchMeasurement &b : baseline.configs)
+            found = found || b.cfg.name() == m.cfg.name();
+        if (!found)
+            mismatch("config " + m.cfg.name(), "absent", "present");
+    }
+    return diff.empty();
+}
+
+std::uint64_t
+peakRssKb()
+{
+    struct rusage ru = {};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return std::uint64_t(ru.ru_maxrss);
+}
+
+} // namespace gvc

@@ -11,8 +11,8 @@
 #define GVC_MEM_DRAM_HH
 
 #include <cstdint>
-#include <functional>
 
+#include "sim/callback.hh"
 #include "sim/sim_context.hh"
 #include "sim/types.hh"
 
@@ -43,7 +43,7 @@ class Dram
      * when the data has been delivered.
      */
     void
-    access(std::uint64_t bytes, std::function<void()> done)
+    access(std::uint64_t bytes, Callback done)
     {
         ++accesses_;
         bytes_moved_ += bytes;

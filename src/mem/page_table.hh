@@ -50,7 +50,7 @@ class PageTable
     explicit PageTable(PhysMem &pm)
         : pm_(pm), root_frame_(pm.allocFrame())
     {
-        nodes_.emplace(root_frame_, Node{});
+        root_ptr_ = &nodes_.emplace(root_frame_, Node{}).first->second;
     }
 
     PageTable(const PageTable &) = delete;
@@ -139,13 +139,13 @@ class PageTable
     {
         WalkPath path;
         std::uint64_t node = root_frame_;
+        const Node *n = root_ptr_;
         for (unsigned level = 0; level < 4; ++level) {
             const unsigned idx = indexAt(vpn, level);
             path.pte_addrs[level] =
                 pageBase(node) + std::uint64_t(idx) * 8;
             path.levels = level + 1;
-            Node &n = nodes_[node];
-            Entry &e = n.entries[idx];
+            const Entry &e = n->entries[idx];
             if (!e.valid)
                 return path; // fault: result remains empty
             if (e.leaf) {
@@ -153,6 +153,7 @@ class PageTable
                 return path;
             }
             node = e.target;
+            n = e.child;
         }
         return path;
     }
@@ -163,9 +164,16 @@ class PageTable
     std::size_t nodeCount() const { return nodes_.size(); }
 
   private:
+    struct Node;
+
     struct Entry
     {
         std::uint64_t target = 0; ///< Next node frame, or mapped PPN.
+        /// Host-side shortcut to the child node for non-leaf entries:
+        /// nodes_ is node-based, so the pointer stays valid across
+        /// rehash and table move, and radix descents skip one hash
+        /// lookup per level.
+        Node *child = nullptr;
         Perms perms = kPermNone;
         bool valid = false;
         bool leaf = false;
@@ -189,36 +197,36 @@ class PageTable
     Entry &
     leafEntry(Vpn vpn, unsigned levels)
     {
-        std::uint64_t node = root_frame_;
+        Node *n = root_ptr_;
         for (unsigned level = 0; level + 1 < levels; ++level) {
-            Entry &e = nodes_[node].entries[indexAt(vpn, level)];
+            Entry &e = n->entries[indexAt(vpn, level)];
             if (!e.valid || e.leaf) {
                 const Ppn child = pm_.allocFrame();
-                nodes_.emplace(child, Node{});
+                // Node addresses are stable: emplace may rehash the
+                // bucket array but never moves mapped_type objects.
+                Node &cn = nodes_.emplace(child, Node{}).first->second;
                 e.valid = true;
                 e.leaf = false;
                 e.large = false;
                 e.target = child;
+                e.child = &cn;
             }
-            node = e.target;
+            n = e.child;
         }
-        return nodes_[node].entries[indexAt(vpn, levels - 1)];
+        return n->entries[indexAt(vpn, levels - 1)];
     }
 
     const Entry *
     findLeaf(Vpn vpn) const
     {
-        std::uint64_t node = root_frame_;
+        const Node *n = root_ptr_;
         for (unsigned level = 0; level < 4; ++level) {
-            auto it = nodes_.find(node);
-            if (it == nodes_.end())
-                return nullptr;
-            const Entry &e = it->second.entries[indexAt(vpn, level)];
+            const Entry &e = n->entries[indexAt(vpn, level)];
             if (!e.valid)
                 return nullptr;
             if (e.leaf)
                 return &e;
-            node = e.target;
+            n = e.child;
         }
         return nullptr;
     }
@@ -233,6 +241,7 @@ class PageTable
     PhysMem &pm_;
     std::uint64_t root_frame_;
     std::unordered_map<std::uint64_t, Node> nodes_;
+    Node *root_ptr_ = nullptr;
 };
 
 } // namespace gvc

@@ -59,7 +59,7 @@ class BaselineMmuSystem final : public GpuMemInterface
     BaselineMmuSystem(SimContext &ctx, const SocConfig &cfg, Vm &vm,
                       Dram &dram, bool merge_tlb_misses = false)
         : ctx_(ctx), cfg_(cfg), vm_(vm), caches_(ctx, cfg, dram),
-          iommu_(ctx, vm, dram, cfg.iommu),
+          iommu_(ctx, vm, dram, cfg.iommuParams()),
           injection_(ctx, cfg.gpu.num_cus, cfg.cu_injection_rate),
           merge_tlb_misses_(merge_tlb_misses)
     {
@@ -67,7 +67,8 @@ class BaselineMmuSystem final : public GpuMemInterface
         for (unsigned i = 0; i < cfg.gpu.num_cus; ++i) {
             tlbs_.push_back(std::make_unique<Tlb>(
                 TlbParams{cfg.percu_tlb_entries, cfg.percu_tlb_assoc,
-                          cfg.percu_tlb_infinite, cfg.track_lifetimes}));
+                          cfg.percu_tlb_infinite, cfg.track_lifetimes,
+                          cfg.translation_memo}));
         }
         vm.addPageShootdownListener([this](Asid asid, Vpn vpn) {
             for (auto &tlb : tlbs_)
@@ -81,7 +82,7 @@ class BaselineMmuSystem final : public GpuMemInterface
 
     void
     access(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
-           std::function<void()> done) override
+           Callback done) override
     {
         injection_.inject(cu_id, [this, cu_id, asid, line_va, is_store,
                                   done = std::move(done)]() mutable {
@@ -152,7 +153,7 @@ class BaselineMmuSystem final : public GpuMemInterface
   private:
     void
     afterTlb(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
-             std::function<void()> done)
+             Callback done)
     {
         const Vpn vpn = pageOf(line_va);
         if (auto hit = tlbs_[cu_id]->lookup(asid, vpn, ctx_.now())) {
@@ -233,7 +234,7 @@ class BaselineMmuSystem final : public GpuMemInterface
     void
     onTranslation(unsigned cu_id, Asid asid, Vpn vpn,
                   const IommuResponse &resp, Vaddr line_va, bool is_store,
-                  std::function<void()> done)
+                  Callback done)
     {
         installAndCheck(cu_id, asid, vpn, resp);
         proceed(cu_id, resp.ppn, line_va, is_store, std::move(done));
@@ -252,7 +253,7 @@ class BaselineMmuSystem final : public GpuMemInterface
 
     void
     proceed(unsigned cu_id, Ppn ppn, Vaddr line_va, bool is_store,
-            std::function<void()> done)
+            Callback done)
     {
         const Paddr line_pa =
             pageBase(ppn) | (line_va & kPageMask & ~kLineMask);
@@ -280,7 +281,7 @@ class BaselineMmuSystem final : public GpuMemInterface
     {
         Vaddr line_va;
         bool is_store;
-        std::function<void()> done;
+        Callback done;
     };
 
     SimContext &ctx_;

@@ -9,8 +9,6 @@
 #ifndef GVC_MMU_IDEAL_SYSTEM_HH
 #define GVC_MMU_IDEAL_SYSTEM_HH
 
-#include <functional>
-
 #include "gpu/cu.hh"
 #include "mem/vm.hh"
 #include "mmu/boundary.hh"
@@ -33,7 +31,7 @@ class IdealMmuSystem final : public GpuMemInterface
 
     void
     access(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
-           std::function<void()> done) override
+           Callback done) override
     {
         const auto t = vm_.translate(asid, line_va);
         if (!t)

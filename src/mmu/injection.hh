@@ -9,10 +9,10 @@
 #ifndef GVC_MMU_INJECTION_HH
 #define GVC_MMU_INJECTION_HH
 
-#include <functional>
 #include <vector>
 
 #include "cache/bank_port.hh"
+#include "sim/callback.hh"
 #include "sim/sim_context.hh"
 
 namespace gvc
@@ -39,7 +39,7 @@ class CuInjectionPorts
      * the limit is disabled).
      */
     void
-    inject(unsigned cu, std::function<void()> fn)
+    inject(unsigned cu, Callback fn)
     {
         if (ports_.empty()) {
             fn();

@@ -99,7 +99,7 @@ class L1OnlyVcSystem final : public GpuMemInterface
     L1OnlyVcSystem(SimContext &ctx, const SocConfig &cfg, Vm &vm,
                    Dram &dram)
         : ctx_(ctx), cfg_(cfg), vm_(vm), caches_(ctx, cfg, dram),
-          iommu_(ctx, vm, dram, cfg.iommu),
+          iommu_(ctx, vm, dram, cfg.iommuParams()),
           injection_(ctx, cfg.gpu.num_cus, cfg.cu_injection_rate)
     {
         for (unsigned i = 0; i < cfg.gpu.num_cus; ++i) {
@@ -109,7 +109,8 @@ class L1OnlyVcSystem final : public GpuMemInterface
                             cfg.track_lifetimes}));
             tlbs_.push_back(std::make_unique<Tlb>(
                 TlbParams{cfg.percu_tlb_entries, cfg.percu_tlb_assoc,
-                          cfg.percu_tlb_infinite, cfg.track_lifetimes}));
+                          cfg.percu_tlb_infinite, cfg.track_lifetimes,
+                          cfg.translation_memo}));
         }
         vm.addPageShootdownListener([this](Asid asid, Vpn vpn) {
             for (unsigned cu = 0; cu < l1s_.size(); ++cu) {
@@ -124,7 +125,7 @@ class L1OnlyVcSystem final : public GpuMemInterface
 
     void
     access(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
-           std::function<void()> done) override
+           Callback done) override
     {
         injection_.inject(cu_id, [this, cu_id, asid, line_va, is_store,
                                   done = std::move(done)]() mutable {
@@ -171,7 +172,7 @@ class L1OnlyVcSystem final : public GpuMemInterface
   private:
     void
     l1Access(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
-             std::function<void()> done)
+             Callback done)
     {
         const auto perms = l1s_[cu_id]->linePerms(asid, line_va);
         const bool usable =
@@ -197,7 +198,7 @@ class L1OnlyVcSystem final : public GpuMemInterface
 
     void
     tlbStage(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
-             std::function<void()> done)
+             Callback done)
     {
         const Vpn vpn = pageOf(line_va);
         if (auto hit = tlbs_[cu_id]->lookup(asid, vpn, ctx_.now())) {
@@ -237,7 +238,7 @@ class L1OnlyVcSystem final : public GpuMemInterface
 
     void
     translated(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
-               Ppn ppn, Perms page_perms, std::function<void()> done)
+               Ppn ppn, Perms page_perms, Callback done)
     {
         const Paddr line_pa =
             pageBase(ppn) | (line_va & kPageMask & ~kLineMask);

@@ -76,8 +76,7 @@ class PhysCaches
      * proceeds to the L2.
      */
     void
-    accessL1(unsigned cu, Paddr line, bool is_store,
-             std::function<void()> done)
+    accessL1(unsigned cu, Paddr line, bool is_store, Callback done)
     {
         ctx_.eq.scheduleIn(cfg_.l1_latency, [this, cu, line, is_store,
                                              done = std::move(done)]() mutable {
@@ -99,8 +98,8 @@ class PhysCaches
      * port arbitration.
      */
     void
-    accessL2(unsigned cu, Paddr line, bool is_store,
-             std::function<void()> done, bool fill_l1 = true)
+    accessL2(unsigned cu, Paddr line, bool is_store, Callback done,
+             bool fill_l1 = true)
     {
         const Tick arrive = ctx_.now() + cfg_.cu_to_l2;
         const unsigned bank = bankOf(line);
@@ -158,8 +157,8 @@ class PhysCaches
     }
 
     void
-    l2Access(unsigned cu, Paddr line, bool is_store,
-             std::function<void()> done, bool fill_l1)
+    l2Access(unsigned cu, Paddr line, bool is_store, Callback done,
+             bool fill_l1)
     {
         const bool hit = l2_.access(0, line, is_store, ctx_.now());
         if (hit) {
@@ -172,13 +171,16 @@ class PhysCaches
         // Miss: merge with any outstanding fill of the same line.
         const std::uint64_t key = line >> kLineShift;
         pending_store_[key] = pending_store_[key] || is_store;
-        auto waiter = [this, cu, line, is_store, fill_l1,
-                       done = std::move(done)]() mutable {
+        // Built as a WakeFn up front: allocate() takes an rvalue ref,
+        // and a raw lambda would be converted through a temporary that
+        // steals the captures even when the result is kPrimary.
+        MshrTable::WakeFn waiter = [this, cu, line, is_store, fill_l1,
+                                    done = std::move(done)]() mutable {
             if (!is_store && fill_l1)
                 fillL1(cu, line);
             ctx_.eq.scheduleIn(cfg_.cu_to_l2, std::move(done));
         };
-        const auto res = mshrs_.allocate(key, waiter);
+        const auto res = mshrs_.allocate(key, std::move(waiter));
         if (res == MshrTable::Result::kSecondary)
             return;
 

@@ -79,6 +79,23 @@ struct SocConfig
     bool track_lifetimes = false;
     /** Classify per-CU TLB misses by cache residency (Figure 2). */
     bool classify_tlb_misses = true;
+
+    // --- Host-side fast paths ---
+    /**
+     * Last-translation memo in every TLB (per-CU and shared IOMMU):
+     * skip the associative scan when the previous page repeats.  Stats
+     * are bit-identical either way; off exists for A/B testing.
+     */
+    bool translation_memo = true;
+
+    /** The nested IommuParams with the memo flag applied. */
+    IommuParams
+    iommuParams() const
+    {
+        IommuParams p = iommu;
+        p.tlb_memo = translation_memo;
+        return p;
+    }
 };
 
 } // namespace gvc

@@ -7,16 +7,42 @@
  * (tick, insertion-order) order, which makes every run deterministic.
  * Idle cycles are skipped, so simulated time can advance arbitrarily fast
  * when nothing is happening.
+ *
+ * Layout: a timing wheel of kWheelSize per-tick FIFO cells covers the
+ * near future [now, now + kWheelSize).  Nearly every event in this
+ * simulator lands there — pipe, cache, and DRAM latencies are tens of
+ * ticks and queue backlogs a few thousand — so schedule() and the
+ * drain loop are O(1) appends and pops instead of binary-heap sifts.
+ * Events beyond the horizon (page-fault service, deep DRAM backlog)
+ * go to a small overflow heap and migrate into the wheel when their
+ * tick enters the window.  Callbacks live in a slot pool recycled
+ * through a free list; wheel cells and heap entries hold indices, so
+ * no container operation moves a callback object.
+ *
+ * Order equivalence with a (tick, insertion-seq) priority queue:
+ *  - A cell's append order is global insertion order for that tick:
+ *    time only advances, so all appends to tick T's cell happen in
+ *    execution order, which is insertion order.
+ *  - Overflow entries for tick T were necessarily scheduled while T was
+ *    outside the window (at some now0 <= T - kWheelSize), i.e. before
+ *    any direct append to T (which requires now > T - kWheelSize).
+ *    They migrate — in (when, seq) heap order — at the moment now
+ *    first advances past T - kWheelSize, which precedes execution of
+ *    any event that could append to T directly.  Hence migrated
+ *    entries land ahead of all direct appends, completing the order.
  */
 
 #ifndef GVC_SIM_EVENT_QUEUE_HH
 #define GVC_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -31,13 +57,13 @@ namespace gvc
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = gvc::Callback;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return wheel_count_ == 0 && overflow_.empty(); }
 
     /** Number of events executed since construction/reset. */
     std::uint64_t executed() const { return executed_; }
@@ -51,7 +77,13 @@ class EventQueue
     {
         if (when < now_)
             panic("EventQueue: scheduling event in the past");
-        heap_.push(Entry{when, next_seq_++, std::move(cb)});
+        const std::uint32_t slot = allocSlot(std::move(cb));
+        if (when - now_ < kWheelSize) {
+            wheel_[std::size_t(when & kWheelMask)].push_back(slot);
+            ++wheel_count_;
+        } else {
+            overflow_.push(FarEntry{when, next_seq_++, slot});
+        }
     }
 
     /** Schedule @p cb to run @p delay ticks from now. */
@@ -69,8 +101,8 @@ class EventQueue
     run(std::uint64_t max_events = ~std::uint64_t{0})
     {
         std::uint64_t n = 0;
-        while (!heap_.empty() && n < max_events) {
-            step();
+        while (n < max_events && advance(~Tick{0})) {
+            execOne();
             ++n;
         }
         return n;
@@ -83,49 +115,137 @@ class EventQueue
     void
     runUntil(Tick until)
     {
-        while (!heap_.empty() && heap_.top().when <= until)
-            step();
-        if (now_ < until)
+        while (advance(until))
+            execOne();
+        if (now_ < until) {
             now_ = until;
+            migrate();
+        }
     }
 
     /** Drop all pending events and rewind time to zero. */
     void
     reset()
     {
-        heap_ = {};
+        for (auto &cell : wheel_)
+            cell.clear();
+        wheel_count_ = 0;
+        cur_head_ = 0;
+        overflow_ = {};
+        slots_.clear();
+        free_slots_.clear();
         now_ = 0;
         next_seq_ = 0;
         executed_ = 0;
     }
 
   private:
-    struct Entry
+    /// Wheel horizon: covers every pipeline/cache/DRAM latency and the
+    /// realistic DRAM-queue backlog; only fault service and extreme
+    /// backlogs overflow.
+    static constexpr unsigned kWheelBits = 12;
+    static constexpr Tick kWheelSize = Tick{1} << kWheelBits;
+    static constexpr Tick kWheelMask = kWheelSize - 1;
+
+    struct FarEntry
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        std::uint32_t slot;
 
         bool
-        operator>(const Entry &o) const
+        operator>(const FarEntry &o) const
         {
             return when != o.when ? when > o.when : seq > o.seq;
         }
     };
 
-    void
-    step()
+    std::uint32_t
+    allocSlot(Callback cb)
     {
-        // Move the entry out before popping so the callback may schedule
-        // further events (which can reallocate the heap) safely.
-        Entry e = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
-        now_ = e.when;
-        ++executed_;
-        e.cb();
+        if (free_slots_.empty()) {
+            slots_.push_back(std::move(cb));
+            return std::uint32_t(slots_.size() - 1);
+        }
+        const std::uint32_t slot = free_slots_.back();
+        free_slots_.pop_back();
+        slots_[slot] = std::move(cb);
+        return slot;
     }
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    /** Pull every far event whose tick has entered the wheel window. */
+    void
+    migrate()
+    {
+        while (!overflow_.empty() &&
+               overflow_.top().when - now_ < kWheelSize) {
+            const FarEntry e = overflow_.top();
+            overflow_.pop();
+            wheel_[std::size_t(e.when & kWheelMask)].push_back(e.slot);
+            ++wheel_count_;
+        }
+    }
+
+    /**
+     * Advance @c now_ to the next pending event's tick, never past
+     * @p limit.  @return true when an event is runnable at @c now_.
+     */
+    bool
+    advance(Tick limit)
+    {
+        {
+            auto &cur = wheel_[std::size_t(now_ & kWheelMask)];
+            if (cur_head_ < cur.size())
+                return true;
+            if (cur_head_) {
+                // Tick fully drained; free the cell before its index is
+                // reused for now_ + kWheelSize.
+                cur.clear();
+                cur_head_ = 0;
+            }
+        }
+        while (true) {
+            if (wheel_count_ == 0) {
+                if (overflow_.empty() || overflow_.top().when > limit)
+                    return false;
+                now_ = overflow_.top().when; // All nearer cells empty.
+            } else {
+                if (now_ >= limit)
+                    return false;
+                ++now_;
+            }
+            migrate();
+            if (!wheel_[std::size_t(now_ & kWheelMask)].empty())
+                return true;
+        }
+    }
+
+    /** Pop and run the next entry of the current tick's cell. */
+    void
+    execOne()
+    {
+        auto &cur = wheel_[std::size_t(now_ & kWheelMask)];
+        const std::uint32_t slot = cur[cur_head_++];
+        --wheel_count_;
+        ++executed_;
+        // Invoke in place: slots_ is a deque, so references stay valid
+        // when the callback schedules further events (which may append
+        // new slots).  The slot is recycled only after the call, so no
+        // new event can overwrite the running callback.
+        Callback &cb = slots_[slot];
+        cb();
+        cb = nullptr;
+        free_slots_.push_back(slot);
+    }
+
+    std::vector<std::vector<std::uint32_t>> wheel_{
+        std::size_t(kWheelSize)};
+    std::size_t cur_head_ = 0;      ///< Drain index into now_'s cell.
+    std::uint64_t wheel_count_ = 0; ///< Pending entries across all cells.
+    std::priority_queue<FarEntry, std::vector<FarEntry>, std::greater<>>
+        overflow_;
+    std::deque<Callback> slots_;
+    std::vector<std::uint32_t> free_slots_;
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;

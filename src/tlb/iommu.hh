@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mem/dram.hh"
+#include "sim/callback.hh"
 #include "mem/vm.hh"
 #include "sim/debug.hh"
 #include "sim/sim_context.hh"
@@ -35,6 +36,8 @@ struct IommuParams
     unsigned tlb_entries = 512;
     unsigned tlb_assoc = 8;
     bool tlb_infinite = false;
+    /** Last-translation memo in the shared TLB (host-side only). */
+    bool tlb_memo = true;
 
     /** Peak shared-TLB bandwidth per bank; ignored when unlimited_bw. */
     double accesses_per_cycle = 1.0;
@@ -79,7 +82,7 @@ struct IommuResponse
 class Iommu
 {
   public:
-    using DoneFn = std::function<void(const IommuResponse &)>;
+    using DoneFn = SmallFunc<void(const IommuResponse &)>;
     /** Functional second-level lookup (the FBT's forward table). */
     using SecondLevelFn =
         std::function<std::optional<TlbLookup>(Asid, Vpn)>;
@@ -89,7 +92,7 @@ class Iommu
     Iommu(SimContext &ctx, Vm &vm, Dram &dram, const IommuParams &params)
         : ctx_(ctx), params_(params),
           tlb_(TlbParams{params.tlb_entries, params.tlb_assoc,
-                         params.tlb_infinite, false}),
+                         params.tlb_infinite, false, params.tlb_memo}),
           ptw_(ctx, vm, dram, params.ptw),
           sampler_(params.sample_window),
           port_fp_per_access_(params.unlimited_bw

@@ -11,11 +11,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "mem/dram.hh"
+#include "sim/callback.hh"
 #include "mem/vm.hh"
 #include "sim/sim_context.hh"
 #include "tlb/pwc.hh"
@@ -41,7 +43,7 @@ struct PtwParams
 class PageTableWalker
 {
   public:
-    using DoneFn = std::function<void(std::optional<Translation>)>;
+    using DoneFn = SmallFunc<void(std::optional<Translation>)>;
 
     PageTableWalker(SimContext &ctx, Vm &vm, Dram &dram,
                     const PtwParams &params = {})
@@ -91,14 +93,34 @@ class PageTableWalker
         unsigned level = 0;
     };
 
+    /**
+     * Walk states are recycled through a free list: each in-flight walk
+     * is owned by exactly one pending event at a time (the step chain is
+     * linear), so a raw pointer plus explicit recycling in finish()
+     * replaces a shared_ptr allocation per walk.  The slab keeps
+     * ownership for teardown with walks still in flight.
+     */
+    WalkState *
+    allocState()
+    {
+        if (state_pool_.empty()) {
+            state_slab_.push_back(std::make_unique<WalkState>());
+            return state_slab_.back().get();
+        }
+        WalkState *s = state_pool_.back();
+        state_pool_.pop_back();
+        return s;
+    }
+
     /** Start queued walks while thread slots are free. */
     void
     pump()
     {
         while (active_ < params_.max_concurrent && !pending_.empty()) {
-            auto state = std::make_shared<WalkState>();
+            WalkState *state = allocState();
             state->req = std::move(pending_.front());
             pending_.pop_front();
+            state->level = 0;
             ++active_;
             state->path =
                 vm_.pageTable(state->req.asid).walk(state->req.vpn);
@@ -109,7 +131,7 @@ class PageTableWalker
 
     /** Process one level of the walk, then recurse via events. */
     void
-    step(const std::shared_ptr<WalkState> &state)
+    step(WalkState *state)
     {
         if (state->level >= state->path.levels) {
             finish(state);
@@ -134,15 +156,18 @@ class PageTableWalker
     }
 
     void
-    finish(const std::shared_ptr<WalkState> &state)
+    finish(WalkState *state)
     {
         ++completed_;
         latency_sum_ += ctx_.now() - state->req.issued;
         --active_;
+        DoneFn done = std::move(state->req.done);
+        const std::optional<Translation> result = state->path.result;
+        state_pool_.push_back(state);
         // Hand the slot to a queued walk before delivering the result so
         // completion callbacks observe a fully-consistent walker.
         pump();
-        state->req.done(state->path.result);
+        done(result);
     }
 
     /** A PTE fetch moves one page-table line. */
@@ -154,6 +179,8 @@ class PageTableWalker
     PtwParams params_;
     PageWalkCache pwc_;
     std::deque<Request> pending_;
+    std::vector<std::unique_ptr<WalkState>> state_slab_;
+    std::vector<WalkState *> state_pool_;
     unsigned active_ = 0;
     Counter requests_;
     Counter completed_;

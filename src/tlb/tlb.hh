@@ -32,6 +32,13 @@ struct TlbParams
     bool infinite = false;
     /** Record entry residence times (insert -> evict). */
     bool track_lifetimes = false;
+    /**
+     * Last-translation memo: remember where the previous hit lives and
+     * skip the associative scan when the same page repeats.  Pure
+     * host-side fast path — every simulated side effect (stat counters,
+     * recency update) is identical with the memo on or off.
+     */
+    bool memo = true;
 };
 
 /** Outcome of a TLB lookup. */
@@ -76,25 +83,67 @@ class Tlb
     {
         ++accesses_;
         if (params_.infinite) {
+            if (memo_inf_ && memo_asid_ == asid && memo_vpn_ == vpn) {
+                ++hits_;
+                return *memo_inf_;
+            }
             auto it = inf_.find(key(asid, vpn));
             if (it == inf_.end()) {
                 ++misses_;
                 return std::nullopt;
             }
             ++hits_;
+            if (params_.memo) {
+                // Pointers into inf_ stay valid across emplace/rehash;
+                // the erase paths below drop the memo explicitly.
+                memo_inf_ = &it->second;
+                memo_asid_ = asid;
+                memo_vpn_ = vpn;
+            }
             return it->second;
         }
         auto &set = sets_[setIndex(vpn)];
-        for (auto &e : set) {
+        if (memo_way_ != kNoMemo && memo_asid_ == asid &&
+            memo_vpn_ == vpn) {
+            // Position-validated: the memo only short-circuits the scan
+            // when the remembered slot still holds this exact key, so a
+            // reshuffled set silently falls back to the full scan.
+            if (memo_set_ == setIndex(vpn) && memo_way_ < set.size()) {
+                auto &e = set[memo_way_];
+                if (e.asid == asid && e.vpn == vpn) {
+                    ++hits_;
+                    e.last_used = now;
+                    e.lru = ++lru_clock_;
+                    return TlbLookup{e.ppn, e.perms, e.large};
+                }
+            }
+            memo_way_ = kNoMemo;
+        }
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            auto &e = set[i];
             if (e.asid == asid && e.vpn == vpn) {
                 ++hits_;
                 e.last_used = now;
                 e.lru = ++lru_clock_;
+                if (params_.memo) {
+                    memo_set_ = setIndex(vpn);
+                    memo_way_ = i;
+                    memo_asid_ = asid;
+                    memo_vpn_ = vpn;
+                }
                 return TlbLookup{e.ppn, e.perms, e.large};
             }
         }
         ++misses_;
         return std::nullopt;
+    }
+
+    /** Drop the last-translation memo (invalidation / structural change). */
+    void
+    clearMemo()
+    {
+        memo_way_ = kNoMemo;
+        memo_inf_ = nullptr;
     }
 
     /** Probe without side effects (no recency update, no stats). */
@@ -148,6 +197,7 @@ class Tlb
     invalidatePage(Asid asid, Vpn vpn, Tick now = 0)
     {
         ++shootdowns_;
+        clearMemo();
         if (params_.infinite)
             return inf_.erase(key(asid, vpn)) != 0;
         auto &set = sets_[setIndex(vpn)];
@@ -165,6 +215,7 @@ class Tlb
     void
     invalidateAsid(Asid asid, Tick now = 0)
     {
+        clearMemo();
         if (params_.infinite) {
             for (auto it = inf_.begin(); it != inf_.end();) {
                 if (Asid(it->first >> 48) == asid)
@@ -188,6 +239,7 @@ class Tlb
     void
     invalidateAll(Tick now = 0)
     {
+        clearMemo();
         inf_.clear();
         for (auto &set : sets_) {
             for (auto &e : set)
@@ -248,6 +300,13 @@ class Tlb
     std::vector<std::vector<Entry>> sets_;
     std::unordered_map<std::uint64_t, TlbLookup> inf_;
     std::uint64_t lru_clock_ = 0;
+
+    static constexpr std::size_t kNoMemo = std::size_t(-1);
+    std::size_t memo_set_ = 0;
+    std::size_t memo_way_ = kNoMemo;
+    const TlbLookup *memo_inf_ = nullptr;
+    Asid memo_asid_ = 0;
+    Vpn memo_vpn_ = 0;
 
     Counter accesses_;
     Counter hits_;

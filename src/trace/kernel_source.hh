@@ -120,6 +120,74 @@ class ReplayWarpStream final : public WarpStream
     std::size_t pos_ = 0;
 };
 
+/**
+ * Struct-of-arrays packing of one recorded warp stream: fixed-size
+ * instruction records plus one flat lane-address array, replacing the
+ * per-WarpInst heap vectors of the trace's AoS form.  Replay then walks
+ * two contiguous arrays instead of chasing a per-instruction pointer,
+ * which is what the stream-drain path spends its time on.
+ */
+struct PackedWarp
+{
+    struct Rec
+    {
+        WarpOp op;
+        std::uint32_t cycles;
+        std::uint32_t first; ///< Offset into lane_addrs.
+        std::uint32_t count; ///< Active lanes (<= kWarpLanes).
+    };
+
+    std::vector<Rec> recs;
+    std::vector<Vaddr> lane_addrs;
+
+    static PackedWarp
+    pack(const std::vector<WarpInst> &insts)
+    {
+        PackedWarp p;
+        p.recs.reserve(insts.size());
+        std::size_t lanes = 0;
+        for (const WarpInst &i : insts)
+            lanes += i.lane_addrs.size();
+        p.lane_addrs.reserve(lanes);
+        for (const WarpInst &i : insts) {
+            p.recs.push_back(Rec{i.op, i.cycles,
+                                 std::uint32_t(p.lane_addrs.size()),
+                                 std::uint32_t(i.lane_addrs.size())});
+            p.lane_addrs.insert(p.lane_addrs.end(),
+                                i.lane_addrs.begin(),
+                                i.lane_addrs.end());
+        }
+        return p;
+    }
+};
+
+/** A WarpStream over a PackedWarp (shared, non-copying). */
+class PackedWarpStream final : public WarpStream
+{
+  public:
+    explicit PackedWarpStream(std::shared_ptr<const PackedWarp> warp)
+        : warp_(std::move(warp))
+    {
+    }
+
+    bool
+    next(WarpInst &out) override
+    {
+        if (pos_ >= warp_->recs.size())
+            return false;
+        const PackedWarp::Rec &r = warp_->recs[pos_++];
+        out.op = r.op;
+        out.cycles = r.cycles;
+        const Vaddr *base = warp_->lane_addrs.data() + r.first;
+        out.lane_addrs.assign(base, base + r.count);
+        return true;
+    }
+
+  private:
+    std::shared_ptr<const PackedWarp> warp_;
+    std::size_t pos_ = 0;
+};
+
 /** Replay: drives a simulation from a captured Trace. */
 class TraceKernelSource final : public KernelSource
 {
@@ -151,9 +219,14 @@ class TraceKernelSource final : public KernelSource
             KernelLaunch launch;
             launch.asid = k.asid;
             launch.warps.reserve(k.warps.size());
-            for (const auto &warp : k.warps)
+            for (const auto &warp : k.warps) {
+                // One packing pass per warp (linear in trace size) buys
+                // contiguous reads for the whole simulated kernel.
                 launch.warps.push_back(
-                    std::make_unique<ReplayWarpStream>(trace_, &warp));
+                    std::make_unique<PackedWarpStream>(
+                        std::make_shared<const PackedWarp>(
+                            PackedWarp::pack(warp))));
+            }
             launches.push_back(std::move(launch));
         }
         return launches;

@@ -420,7 +420,8 @@ TraceWriter::serialize(const Trace &trace)
     const auto body = serializeBody(trace);
     std::vector<std::uint8_t> out;
     out.reserve(16 + body.size());
-    out.insert(out.end(), kTraceMagic, kTraceMagic + 4);
+    for (char c : kTraceMagic)
+        out.push_back(std::uint8_t(c));
     putU32Fixed(out, trace.formatVersion());
     putU64Fixed(out, fnv1a(body.data(), body.size()));
     out.insert(out.end(), body.begin(), body.end());

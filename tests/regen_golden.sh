@@ -1,12 +1,24 @@
 #!/bin/sh
-# Regenerate tests/golden_stats.txt from the current build.  Run after
-# an intended behavior change, then commit the updated file together
-# with the change that caused it.
+# Regenerate every checked-in determinism baseline from the current
+# build, in one step so they can never diverge silently:
 #
-#   tests/regen_golden.sh [path-to-gvc_tests]
+#   - tests/golden_stats.txt      (golden-stats regression matrix)
+#   - BENCH_PR<N>.json            (bench counter baseline gated in CI)
+#
+# Run after an intended behavior change, then commit the updated files
+# together with the change that caused it.
+#
+#   tests/regen_golden.sh [path-to-gvc_tests] [path-to-gvc_bench]
+#
+# The bench regeneration runs the full matrix at scale 1 and takes a
+# few minutes; pass GVC_REGEN_SKIP_BENCH=1 to regenerate only the
+# golden stats.
 set -e
 
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 tests_bin="${1:-build/tests/gvc_tests}"
+bench_bin="${2:-build/tools/gvc_bench}"
+
 if [ ! -x "$tests_bin" ]; then
     echo "error: test binary '$tests_bin' not found (build first, or" >&2
     echo "pass its path: tests/regen_golden.sh <path-to-gvc_tests>)" >&2
@@ -15,3 +27,23 @@ fi
 
 GVC_REGEN_GOLDEN=1 "$tests_bin" --gtest_filter='GoldenStats.*'
 echo "regenerated $(dirname "$0")/golden_stats.txt"
+
+if [ "${GVC_REGEN_SKIP_BENCH:-0}" = 1 ]; then
+    echo "skipping bench baseline (GVC_REGEN_SKIP_BENCH=1)"
+    exit 0
+fi
+
+if [ ! -x "$bench_bin" ]; then
+    echo "error: bench binary '$bench_bin' not found (build first, or" >&2
+    echo "pass its path: tests/regen_golden.sh <gvc_tests> <gvc_bench>)" >&2
+    exit 1
+fi
+
+# The bench baseline lives at the repo root; keep the newest PR number.
+bench_json="$(ls "$repo_root"/BENCH_PR*.json 2>/dev/null | sort -V | tail -n 1)"
+if [ -z "$bench_json" ]; then
+    bench_json="$repo_root/BENCH_PR6.json"
+fi
+
+"$bench_bin" --quick --out "$bench_json"
+echo "regenerated $bench_json"

@@ -27,7 +27,7 @@ class FakeMem final : public GpuMemInterface
 
     void
     access(unsigned cu_id, Asid asid, Vaddr line_va, bool is_store,
-           std::function<void()> done) override
+           Callback done) override
     {
         requests.push_back({cu_id, asid, line_va, is_store, ctx_.now()});
         ctx_.eq.scheduleIn(latency_, std::move(done));
@@ -233,8 +233,9 @@ TEST_F(CuTest, BarrierSynchronizesWarps)
     // releases immediately.  The loads of warps 0 and 2 issue only
     // after the 300-cycle compute finishes.
     for (const auto &req : mem_.requests) {
-        if (req.line == 0x10000u || req.line == 0x30000u)
+        if (req.line == 0x10000u || req.line == 0x30000u) {
             EXPECT_GE(req.at, 300u);
+        }
     }
     ASSERT_EQ(mem_.requests.size(), 3u);
 }

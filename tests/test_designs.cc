@@ -106,7 +106,7 @@ class OrderLog final : public GpuMemInterface
 
     void
     access(unsigned, Asid, Vaddr line_va, bool,
-           std::function<void()> done) override
+           Callback done) override
     {
         order.push_back(line_va);
         ctx_.eq.scheduleIn(5, std::move(done));

@@ -88,7 +88,7 @@ TEST(GpuAggregates, SumAcrossCus)
         explicit NullMem(SimContext &c) : ctx(c) {}
         void
         access(unsigned, Asid, Vaddr, bool,
-               std::function<void()> done) override
+               Callback done) override
         {
             ctx.eq.scheduleIn(1, std::move(done));
         }

@@ -143,12 +143,14 @@ TEST_P(DeltasSumToTotals, EveryExportedCounter)
     EXPECT_EQ(sum.fbt_lookups, r.fbt_lookups);
     EXPECT_EQ(sum.synonym_replays, r.synonym_replays);
     // Hit counts are exported as ratios; the sums must reproduce them.
-    if (sum.l1_accesses)
+    if (sum.l1_accesses) {
         EXPECT_DOUBLE_EQ(double(sum.l1_hits) / double(sum.l1_accesses),
                          r.l1_hit_ratio);
-    if (sum.l2_accesses)
+    }
+    if (sum.l2_accesses) {
         EXPECT_DOUBLE_EQ(double(sum.l2_hits) / double(sum.l2_accesses),
                          r.l2_hit_ratio);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -44,8 +44,9 @@ TEST(TimingProperties, MoreSharedTlbBandwidthNeverHurts)
         RunConfig cfg = quick(MmuDesign::kBaseline512, 0.15);
         cfg.soc.iommu.accesses_per_cycle = bw;
         const Tick t = runWorkload("mis", cfg).exec_ticks;
-        if (prev)
+        if (prev) {
             EXPECT_GE(t, prev); // less bandwidth => no faster
+        }
         prev = t;
     }
 }

@@ -116,8 +116,9 @@ TEST(TraceFormat, SerializeParseRoundTripIsByteIdentical)
     for (std::size_t i = 0; i < w0.size(); ++i) {
         EXPECT_EQ(p0[i].op, w0[i].op);
         EXPECT_EQ(p0[i].lane_addrs, w0[i].lane_addrs);
-        if (!w0[i].isGlobalMem())
+        if (!w0[i].isGlobalMem()) {
             EXPECT_EQ(p0[i].cycles, w0[i].cycles);
+        }
     }
     EXPECT_TRUE(parsed.kernels[0].warps[1].empty());
 

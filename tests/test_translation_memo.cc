@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Last-translation memo coverage: the memo is a host-side fast path, so
+ * these tests pin (a) its correctness under every invalidation source —
+ * page shootdown, ASID invalidation, full flush, and each BoundaryPolicy
+ * preset at system level — and (b) bit-identical statistics with the
+ * memo on vs off, unit-level and across the golden (workload, design)
+ * matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "mmu/boundary.hh"
+#include "tlb/tlb.hh"
+
+namespace gvc
+{
+namespace
+{
+
+TlbParams
+memoParams(bool memo)
+{
+    TlbParams p;
+    p.entries = 8;
+    p.assoc = 0;
+    p.memo = memo;
+    return p;
+}
+
+TEST(TranslationMemo, RepeatedLookupsHitThroughMemo)
+{
+    Tlb tlb(memoParams(true));
+    tlb.insert(1, 0x10, TlbLookup{0x99, kPermRead, false}, 0);
+    for (Tick t = 1; t <= 100; ++t) {
+        auto r = tlb.lookup(1, 0x10, t);
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(r->ppn, Ppn{0x99});
+    }
+    EXPECT_EQ(tlb.accesses(), 100u);
+    EXPECT_EQ(tlb.hits(), 100u);
+    EXPECT_EQ(tlb.misses(), 0u);
+}
+
+TEST(TranslationMemo, MemoOnOffStatIdentityUnitLevel)
+{
+    // Drive both TLBs through the same access pattern, including
+    // conflict evictions, and require identical counters throughout.
+    Tlb on(memoParams(true));
+    Tlb off(memoParams(false));
+    Tick t = 0;
+    for (unsigned round = 0; round < 4; ++round) {
+        for (Vpn vpn = 0; vpn < 12; ++vpn) {
+            ++t;
+            auto a = on.lookup(1, vpn, t);
+            auto b = off.lookup(1, vpn, t);
+            ASSERT_EQ(a.has_value(), b.has_value());
+            if (!a) {
+                on.insert(1, vpn, TlbLookup{vpn + 100, kPermRead, false},
+                          t);
+                off.insert(1, vpn, TlbLookup{vpn + 100, kPermRead, false},
+                           t);
+            }
+            // Repeat the same page immediately: the memo path must
+            // produce the same counters as the scan path.
+            ++t;
+            a = on.lookup(1, vpn, t);
+            b = off.lookup(1, vpn, t);
+            ASSERT_EQ(a.has_value(), b.has_value());
+        }
+    }
+    EXPECT_EQ(on.accesses(), off.accesses());
+    EXPECT_EQ(on.hits(), off.hits());
+    EXPECT_EQ(on.misses(), off.misses());
+    EXPECT_EQ(on.fills(), off.fills());
+}
+
+TEST(TranslationMemo, PageShootdownInvalidatesMemo)
+{
+    Tlb tlb(memoParams(true));
+    tlb.insert(1, 0x10, TlbLookup{0x99, kPermRead, false}, 0);
+    ASSERT_TRUE(tlb.lookup(1, 0x10, 1).has_value()); // memoized
+    tlb.invalidatePage(1, 0x10, 2);
+    EXPECT_FALSE(tlb.lookup(1, 0x10, 3).has_value());
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(TranslationMemo, AsidInvalidationInvalidatesMemo)
+{
+    Tlb tlb(memoParams(true));
+    tlb.insert(1, 0x10, TlbLookup{0x99, kPermRead, false}, 0);
+    ASSERT_TRUE(tlb.lookup(1, 0x10, 1).has_value());
+    tlb.invalidateAsid(1, 2);
+    EXPECT_FALSE(tlb.lookup(1, 0x10, 3).has_value());
+}
+
+TEST(TranslationMemo, FullInvalidationInvalidatesMemo)
+{
+    Tlb tlb(memoParams(true));
+    tlb.insert(1, 0x10, TlbLookup{0x99, kPermRead, false}, 0);
+    ASSERT_TRUE(tlb.lookup(1, 0x10, 1).has_value());
+    tlb.invalidateAll(2);
+    EXPECT_FALSE(tlb.lookup(1, 0x10, 3).has_value());
+}
+
+TEST(TranslationMemo, AsidSwitchDoesNotHitThroughMemo)
+{
+    // Same VPN, different address space: the memo key includes the
+    // ASID, so a page-table switch must not leak the old translation.
+    Tlb tlb(memoParams(true));
+    tlb.insert(1, 0x10, TlbLookup{0x99, kPermRead, false}, 0);
+    tlb.insert(2, 0x10, TlbLookup{0x77, kPermRead, false}, 0);
+    auto a = tlb.lookup(1, 0x10, 1);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->ppn, Ppn{0x99});
+    auto b = tlb.lookup(2, 0x10, 2);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->ppn, Ppn{0x77});
+    a = tlb.lookup(1, 0x10, 3);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->ppn, Ppn{0x99});
+}
+
+TEST(TranslationMemo, ReinsertionAfterShootdownServesNewTranslation)
+{
+    Tlb tlb(memoParams(true));
+    tlb.insert(1, 0x10, TlbLookup{0x99, kPermRead, false}, 0);
+    ASSERT_TRUE(tlb.lookup(1, 0x10, 1).has_value());
+    tlb.invalidatePage(1, 0x10, 2);
+    tlb.insert(1, 0x10, TlbLookup{0x55, kPermRead, false}, 3);
+    auto r = tlb.lookup(1, 0x10, 4);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->ppn, Ppn{0x55});
+}
+
+TEST(TranslationMemo, InfiniteTlbMemoMatchesScan)
+{
+    TlbParams p;
+    p.infinite = true;
+    Tlb on(p);
+    p.memo = false;
+    Tlb off(p);
+    for (Vpn vpn = 0; vpn < 8; ++vpn) {
+        on.insert(1, vpn, TlbLookup{vpn + 100, kPermRead, false}, 0);
+        off.insert(1, vpn, TlbLookup{vpn + 100, kPermRead, false}, 0);
+    }
+    for (unsigned round = 0; round < 3; ++round) {
+        for (Vpn vpn = 0; vpn < 8; ++vpn) {
+            // Twice per page so the second lookup exercises the memo.
+            for (int rep = 0; rep < 2; ++rep) {
+                auto a = on.lookup(1, vpn, 1);
+                auto b = off.lookup(1, vpn, 1);
+                ASSERT_TRUE(a.has_value() && b.has_value());
+                EXPECT_EQ(a->ppn, b->ppn);
+            }
+        }
+    }
+    on.invalidatePage(1, 3);
+    off.invalidatePage(1, 3);
+    EXPECT_FALSE(on.lookup(1, 3, 2).has_value());
+    EXPECT_FALSE(off.lookup(1, 3, 2).has_value());
+    EXPECT_EQ(on.hits(), off.hits());
+    EXPECT_EQ(on.misses(), off.misses());
+}
+
+// --- System level: memo on vs off must be bit-identical ---
+
+std::string
+statsKey(const RunResult &r)
+{
+    std::ostringstream os;
+    os << r.exec_ticks << '/' << r.instructions << '/'
+       << r.mem_instructions << '/' << r.tlb_accesses << '/'
+       << r.tlb_misses << '/' << r.iommu_accesses << '/' << r.page_walks
+       << '/' << r.l1_accesses << '/' << r.l2_accesses << '/'
+       << r.dram_accesses << '/' << r.dram_bytes << '/' << r.fbt_lookups
+       << '/' << r.synonym_replays;
+    return os.str();
+}
+
+RunConfig
+smallConfig(MmuDesign design, bool memo)
+{
+    RunConfig cfg;
+    cfg.design = design;
+    cfg.workload.scale = 0.1;
+    cfg.soc.translation_memo = memo;
+    return cfg;
+}
+
+TEST(TranslationMemo, StatIdentityAcrossGoldenMatrix)
+{
+    const char *const workloads[] = {"pagerank", "bfs", "hotspot"};
+    const MmuDesign designs[] = {MmuDesign::kBaseline512,
+                                 MmuDesign::kVcOpt, MmuDesign::kL1Vc32};
+    for (const char *w : workloads) {
+        for (const MmuDesign d : designs) {
+            const RunResult on = runWorkload(w, smallConfig(d, true));
+            const RunResult off = runWorkload(w, smallConfig(d, false));
+            EXPECT_EQ(statsKey(on), statsKey(off))
+                << w << " / " << designName(d);
+        }
+    }
+}
+
+TEST(TranslationMemo, StatIdentityUnderEveryBoundaryPolicy)
+{
+    // Multi-kernel scenarios invoke the TLB invalidation paths between
+    // rounds; every preset must leave memo-on and memo-off runs
+    // bit-identical.
+    const BoundaryPolicy policies[] = {
+        BoundaryPolicy::keepAll(), BoundaryPolicy::flushL1(),
+        BoundaryPolicy::flushAll(), BoundaryPolicy::shootdown()};
+    for (const BoundaryPolicy &policy : policies) {
+        ScenarioSpec spec;
+        spec.rounds = 2;
+        spec.boundary = policy;
+        const RunResult on = runScenario(
+            "bfs", smallConfig(MmuDesign::kVcOpt, true), spec);
+        const RunResult off = runScenario(
+            "bfs", smallConfig(MmuDesign::kVcOpt, false), spec);
+        EXPECT_EQ(statsKey(on), statsKey(off))
+            << "boundary policy " << boundaryPolicyName(policy);
+    }
+}
+
+} // namespace
+} // namespace gvc
