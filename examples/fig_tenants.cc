@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Multi-tenant figure: two tenants (pagerank + bfs) share one persistent
+ * memory system under a seeded arrival process, and we sweep the
+ * context-switch policy crossed with a cross-tenant shootdown storm to
+ * see how much IOMMU translation traffic each MMU design generates
+ * under contention.
+ *
+ * The point of the figure is the paper's thesis under multi-tenancy:
+ * the virtual-cache hierarchy translates only on misses, so even when
+ * tenants interleave and storms of cross-tenant protect bursts bounce
+ * page permissions (each bounce shoots the page out of every
+ * translation structure), the VC designs still filter the vast
+ * majority of IOMMU accesses that the baseline must perform on every
+ * L1 miss.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/fig_tenants
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "harness/table.hh"
+#include "harness/tenants.hh"
+
+using namespace gvc;
+
+namespace
+{
+
+std::string
+fmtU64(std::uint64_t v)
+{
+    return std::to_string((unsigned long long)v);
+}
+
+KernelStats
+tenantSum(const RunResult &r)
+{
+    KernelStats sum;
+    for (const TenantStats &t : r.tenants) {
+#define GVC_ADD_FIELD(name) sum.name += t.stats.name;
+        GVC_KERNELSTAT_FIELDS(GVC_ADD_FIELD)
+#undef GVC_ADD_FIELD
+    }
+    return sum;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("gvc fig_tenants: pagerank + bfs sharing one memory "
+                "system —\nIOMMU accesses and page walks per switch "
+                "policy, with and without\ncross-tenant shootdown "
+                "storms\n\n");
+
+    TenantsSpec base;
+    base.tenants.push_back(TenantSpec{"pagerank", {}});
+    base.tenants.push_back(TenantSpec{"bfs", {}});
+    for (TenantSpec &t : base.tenants)
+        t.params.scale = 0.5;
+    base.rounds = 2;
+    base.sched = TenantSched::kFifo;
+    base.arrival.kind = ArrivalSpec::Kind::kPoisson;
+    base.arrival.interval = 1000;
+
+    for (const SwitchPolicy sw :
+         {SwitchPolicy::kKeepAll, SwitchPolicy::kFlushL1,
+          SwitchPolicy::kFlushAll, SwitchPolicy::kAsidShootdown}) {
+        std::printf("switch policy: %s\n", switchPolicyName(sw));
+        TextTable table({"design", "storm", "iommu accesses",
+                         "page walks", "vs baseline"});
+        for (const unsigned storm_pages : {0u, 32u}) {
+            std::uint64_t baseline_iommu = 0;
+            for (const MmuDesign design :
+                 {MmuDesign::kBaseline512, MmuDesign::kL1Vc32,
+                  MmuDesign::kVcOpt}) {
+                TenantsSpec spec = base;
+                spec.switch_policy = sw;
+                spec.storm.pages = storm_pages;
+                spec.storm.period = 1;
+                RunConfig cfg;
+                cfg.design = design;
+                const RunResult r = runTenants(spec, cfg);
+                const KernelStats sum = tenantSum(r);
+                if (design == MmuDesign::kBaseline512)
+                    baseline_iommu = sum.iommu_accesses;
+                const double frac =
+                    baseline_iommu
+                        ? double(sum.iommu_accesses) /
+                              double(baseline_iommu)
+                        : 0.0;
+                table.addRow({designName(design),
+                              storm_pages ? "32 pages/switch" : "off",
+                              fmtU64(sum.iommu_accesses),
+                              fmtU64(sum.page_walks),
+                              TextTable::fmt(100.0 * frac, 1) + "%"});
+            }
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    std::printf(
+        "Every design pays for flush-all switches and for storms (each "
+        "bounced\npage is shot out of the TLBs and, in the virtual "
+        "hierarchy, out of the\nforward-backward table), but the VC "
+        "designs keep translating only on\ncache misses: their IOMMU "
+        "traffic stays a small fraction of the\nbaseline's even under "
+        "asid-shootdown switches with storms on.\n");
+    return 0;
+}

@@ -226,6 +226,34 @@ class CacheArray
         return count;
     }
 
+    /**
+     * Invalidate every line belonging to one address space (per-ASID
+     * shootdown); @p on_evict sees each dropped line.
+     * @return number of lines invalidated.
+     */
+    unsigned
+    invalidateAsid(Asid asid,
+                   const std::function<void(const CacheLineInfo &)>
+                       &on_evict = {})
+    {
+        unsigned count = 0;
+        for (std::size_t set = 0; set < num_sets_; ++set) {
+            Line *base = setBase(set);
+            for (unsigned i = 0; i < set_len_[set]; ++i) {
+                Line &l = base[i];
+                if (!l.valid || l.asid != asid)
+                    continue;
+                const auto info = retire(l);
+                l.valid = false;
+                ++invalidations_;
+                ++count;
+                if (on_evict && info)
+                    on_evict(*info);
+            }
+        }
+        return count;
+    }
+
     /** Invalidate the entire array; @p on_evict sees every line. */
     void
     invalidateAll(const std::function<void(const CacheLineInfo &)>

@@ -6,10 +6,12 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <unordered_map>
 #include <utility>
 
 #include "harness/sweep.hh"
+#include "harness/tenants.hh"
 #include "sim/logging.hh"
 #include "trace/kernel_source.hh"
 
@@ -98,6 +100,27 @@ runCell(const BenchConfig &cfg, const BenchOptions &opts)
         return BenchCounters::fromResult(
             runScenario(cfg.workload, cellConfig(cfg, opts), spec));
     }
+    if (cfg.mode == "tenants") {
+        // Multi-tenant contention cell: '+'-separated tenant workloads
+        // under the stressful end of the scheduler knobs (per-ASID
+        // shootdown switches plus a storm burst at every boundary), so
+        // the bench tracks the tenant subsystem's whole code path.
+        TenantsSpec spec;
+        std::string name;
+        std::stringstream ss(cfg.workload);
+        RunConfig rc = cellConfig(cfg, opts);
+        while (std::getline(ss, name, '+'))
+            if (!name.empty())
+                spec.tenants.push_back(TenantSpec{name, rc.workload});
+        spec.rounds = opts.scenario_rounds;
+        spec.sched = TenantSched::kFifo;
+        spec.arrival.kind = ArrivalSpec::Kind::kPoisson;
+        spec.arrival.interval = 1000;
+        spec.switch_policy = SwitchPolicy::kAsidShootdown;
+        spec.storm.pages = 4;
+        spec.storm.period = 1;
+        return BenchCounters::fromResult(runTenants(spec, rc));
+    }
     if (cfg.mode == "sweep") {
         Sweep sweep(/*jobs=*/1);
         sweep.setProgress(false);
@@ -176,6 +199,9 @@ benchMatrix()
         for (const char *w : kBenchWorkloads)
             for (const MmuDesign d : kBenchDesigns)
                 matrix.push_back(BenchConfig{mode, w, designName(d)});
+    for (const MmuDesign d : {MmuDesign::kBaseline512, MmuDesign::kVcOpt})
+        matrix.push_back(
+            BenchConfig{"tenants", "pagerank+bfs", designName(d)});
     matrix.push_back(BenchConfig{"sweep", "grid", "3x3"});
     return matrix;
 }

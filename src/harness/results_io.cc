@@ -588,6 +588,24 @@ workloadParamsToJson(const WorkloadParams &p)
     return j;
 }
 
+namespace
+{
+
+Json
+tlbRefHistToJson(const TlbRefHist &h)
+{
+    Json j = Json::object();
+    Json buckets = Json::array();
+    for (const std::uint64_t b : h.buckets)
+        buckets.push(Json(b));
+    j.set("buckets", std::move(buckets));
+    j.set("retired", h.retired);
+    j.set("dead", h.dead);
+    return j;
+}
+
+} // namespace
+
 Json
 runResultToJson(const RunResult &r, const SocConfig *soc)
 {
@@ -615,6 +633,28 @@ runResultToJson(const RunResult &r, const SocConfig *soc)
             kernels.push(std::move(one));
         }
         j.set("kernels", std::move(kernels));
+    }
+    // The tenant block (and the TLB lifetime histograms, which ride
+    // with it) only appears for multi-tenant runs, so version-1/2
+    // exports stay byte-identical to what older writers produced.
+    if (!r.tenants.empty()) {
+        Json tenants = Json::array();
+        for (const TenantStats &t : r.tenants) {
+            Json one = Json::object();
+            one.set("workload", t.workload);
+            one.set("launches", t.launches);
+            Json stats = Json::object();
+#define X(field) stats.set(#field, std::uint64_t(t.stats.field));
+            GVC_KERNELSTAT_FIELDS(X)
+#undef X
+            one.set("stats", std::move(stats));
+            tenants.push(std::move(one));
+        }
+        j.set("tenants", std::move(tenants));
+        j.set("tenant_context_switches", r.tenant_context_switches);
+        j.set("tenant_storm_pages", r.tenant_storm_pages);
+        j.set("percu_tlb_refs", tlbRefHistToJson(r.percu_tlb_refs));
+        j.set("iommu_tlb_refs", tlbRefHistToJson(r.iommu_tlb_refs));
     }
     if (soc)
         j.set("soc", socConfigToJson(*soc));
@@ -644,16 +684,28 @@ resultsToJson(const ExportMeta &meta,
         grid.set("shard", std::move(shard));
     }
 
-    // Schema version 2 exactly when the records carry per-kernel stats:
-    // the two record shapes cannot share a document, so a mix is a bug
-    // in the caller, not a third schema.
+    // Schema version 3 exactly when the records carry per-tenant stats,
+    // version 2 exactly when (tenant-free) records carry per-kernel
+    // stats: the record shapes cannot share a document, so a mix is a
+    // bug in the caller, not a new schema.  Tenant records may carry
+    // per-kernel stats or not (a one-slot schedule has no boundaries),
+    // so the kernels-mix check only applies to non-tenant records.
+    bool with_tenants = false, without_tenants = false;
     bool with_kernels = false, without_kernels = false;
     for (const auto &rec : records) {
-        if (rec.result.kernels.empty())
-            without_kernels = true;
-        else
-            with_kernels = true;
+        if (rec.result.tenants.empty()) {
+            without_tenants = true;
+            if (rec.result.kernels.empty())
+                without_kernels = true;
+            else
+                with_kernels = true;
+        } else {
+            with_tenants = true;
+        }
     }
+    if (with_tenants && without_tenants)
+        fatal("resultsToJson: cannot mix tenant and non-tenant records "
+              "in one document");
     if (with_kernels && without_kernels)
         fatal("resultsToJson: cannot mix records with and without "
               "per-kernel stats in one document");
@@ -670,8 +722,10 @@ resultsToJson(const ExportMeta &meta,
     }
 
     Json doc = Json::object();
-    doc.set("schema_version", with_kernels ? kResultsSchemaVersionKernels
-                                           : kResultsSchemaVersion);
+    doc.set("schema_version",
+            with_tenants  ? kResultsSchemaVersionTenants
+            : with_kernels ? kResultsSchemaVersionKernels
+                           : kResultsSchemaVersion);
     doc.set("generator", meta.generator);
     doc.set("grid", std::move(grid));
     doc.set("results", std::move(results));
@@ -958,15 +1012,17 @@ resultRecordFromJson(Importer &imp, const Json &j,
     GVC_RUNRESULT_BREAKDOWN_FIELDS(X)
 #undef X
 
-    // Per-kernel stats are the one schema-versioned record field: a
-    // version-2 record must carry them, a version-1 record must not.
+    // Per-kernel stats are schema-versioned: a version-2 record must
+    // carry them, a version-1 record must not, and a version-3 (tenant)
+    // record may go either way — a one-slot schedule has no boundaries
+    // — but what it carries must still validate.
     const Json *kernels = j.find("kernels");
-    if (version < kResultsSchemaVersionKernels) {
+    if (version == kResultsSchemaVersion) {
         if (kernels)
             return imp.fail(ctx + ".kernels: per-kernel stats require "
                                   "schema_version " +
                             std::to_string(kResultsSchemaVersionKernels));
-    } else {
+    } else if (kernels || version == kResultsSchemaVersionKernels) {
         if (!kernels || !kernels->isArray() || kernels->size() == 0)
             return imp.fail(ctx + ".kernels: expected a non-empty array");
         for (std::size_t k = 0; k < kernels->size(); ++k) {
@@ -982,6 +1038,75 @@ resultRecordFromJson(Importer &imp, const Json &j,
 #undef X
             rec.result.kernels.push_back(ks);
         }
+    }
+
+    // The tenant block: required in full for version 3, rejected
+    // outright below it.
+    if (version < kResultsSchemaVersionTenants) {
+        for (const char *key :
+             {"tenants", "tenant_context_switches", "tenant_storm_pages",
+              "percu_tlb_refs", "iommu_tlb_refs"}) {
+            if (j.find(key))
+                return imp.fail(ctx + "." + key +
+                                ": tenant stats require schema_version " +
+                                std::to_string(
+                                    kResultsSchemaVersionTenants));
+        }
+    } else {
+        const Json *tenants = j.find("tenants");
+        if (!tenants || !tenants->isArray() || tenants->size() == 0)
+            return imp.fail(ctx + ".tenants: expected a non-empty array");
+        for (std::size_t t = 0; t < tenants->size(); ++t) {
+            const std::string tctx =
+                ctx + ".tenants[" + std::to_string(t) + "]";
+            if (!tenants->at(t).isObject())
+                return imp.fail(tctx + ": expected an object");
+            TenantStats ts;
+            if (!imp.getString(tenants->at(t), "workload", tctx,
+                               ts.workload) ||
+                !imp.getU64(tenants->at(t), "launches", tctx,
+                            ts.launches))
+                return false;
+            const Json *stats =
+                imp.getObject(tenants->at(t), "stats", tctx);
+            if (!stats)
+                return false;
+#define X(field)                                                        \
+    if (!imp.getU64(*stats, #field, tctx + ".stats", ts.stats.field))   \
+        return false;
+            GVC_KERNELSTAT_FIELDS(X)
+#undef X
+            rec.result.tenants.push_back(std::move(ts));
+        }
+        if (!imp.getU64(j, "tenant_context_switches", ctx,
+                        rec.result.tenant_context_switches) ||
+            !imp.getU64(j, "tenant_storm_pages", ctx,
+                        rec.result.tenant_storm_pages))
+            return false;
+        const auto ref_hist = [&](const char *key, TlbRefHist &out) {
+            const Json *h = imp.getObject(j, key, ctx);
+            if (!h)
+                return false;
+            const std::string hctx = ctx + "." + key;
+            const Json *buckets = h->find("buckets");
+            if (!buckets || !buckets->isArray() ||
+                buckets->size() != TlbRefHist::kBuckets)
+                return imp.fail(hctx + ".buckets: expected an array of " +
+                                std::to_string(TlbRefHist::kBuckets) +
+                                " numbers");
+            for (std::size_t b = 0; b < buckets->size(); ++b) {
+                if (!buckets->at(b).isNumber())
+                    return imp.fail(hctx + ".buckets[" +
+                                    std::to_string(b) +
+                                    "]: expected a number");
+                out.buckets[b] = buckets->at(b).asU64();
+            }
+            return imp.getU64(*h, "retired", hctx, out.retired) &&
+                   imp.getU64(*h, "dead", hctx, out.dead);
+        };
+        if (!ref_hist("percu_tlb_refs", rec.result.percu_tlb_refs) ||
+            !ref_hist("iommu_tlb_refs", rec.result.iommu_tlb_refs))
+            return false;
     }
 
     const Json *soc = imp.getObject(j, "soc", ctx);
@@ -1031,11 +1156,13 @@ resultsFromJson(const Json &doc, ExportMeta &meta,
     if (!imp.getU64(doc, "schema_version", "document", version))
         return done(false);
     if (version != std::uint64_t(kResultsSchemaVersion) &&
-        version != std::uint64_t(kResultsSchemaVersionKernels))
+        version != std::uint64_t(kResultsSchemaVersionKernels) &&
+        version != std::uint64_t(kResultsSchemaVersionTenants))
         return done(imp.fail(
             "unsupported schema_version " + std::to_string(version) +
             " (expected " + std::to_string(kResultsSchemaVersion) +
-            " or " + std::to_string(kResultsSchemaVersionKernels) +
+            ", " + std::to_string(kResultsSchemaVersionKernels) +
+            ", or " + std::to_string(kResultsSchemaVersionTenants) +
             ")"));
     meta.schema_version = int(version);
     if (!imp.getString(doc, "generator", "document", meta.generator))
@@ -1150,8 +1277,9 @@ mergeResults(const std::vector<Json> &shards, Json &merged,
                             std::to_string(m.schema_version) +
                             " differs from shard 0's " +
                             std::to_string(meta.schema_version) +
-                            "; shards with and without per-kernel "
-                            "stats cannot merge");
+                            "; shards of different schema versions "
+                            "(per-kernel / per-tenant stats) cannot "
+                            "merge");
             if (m.generator != meta.generator)
                 return fail(who + ": generator '" + m.generator +
                             "' differs from shard 0's '" +

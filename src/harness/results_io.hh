@@ -26,6 +26,18 @@
  * per-kernel stats, so exports of plain runs stay byte-identical to the
  * version-1 schema; mixing records with and without per-kernel stats in
  * one document is an error.
+ *
+ * Schema version 3 is the multi-tenant shape: each record additionally
+ * carries a non-empty "tenants" array (workload, launches, and one
+ * KernelStats object per tenant — the per-tenant deltas, which sum
+ * field-exactly to the record's cumulative totals), the
+ * "tenant_context_switches" / "tenant_storm_pages" counters, and the
+ * "percu_tlb_refs" / "iommu_tlb_refs" TLB entry-lifetime histograms.
+ * A document is stamped version 3 exactly when its records carry
+ * tenant stats (the "kernels" array is then optional per record), so
+ * version-1/2 exports stay byte-identical; mixing tenant and
+ * non-tenant records in one document is an error, and shards of
+ * different schema versions never merge.
  */
 
 #ifndef GVC_HARNESS_RESULTS_IO_HH
@@ -128,6 +140,8 @@ struct ResultRecord
 inline constexpr int kResultsSchemaVersion = 1;
 /** Schema version stamped when records carry per-kernel stats arrays. */
 inline constexpr int kResultsSchemaVersionKernels = 2;
+/** Schema version stamped when records carry per-tenant stat blocks. */
+inline constexpr int kResultsSchemaVersionTenants = 3;
 
 /** Metadata describing the exporting run (the "grid" JSON object). */
 struct ExportMeta
@@ -169,10 +183,12 @@ Json workloadParamsToJson(const WorkloadParams &p);
 Json runResultToJson(const RunResult &r, const SocConfig *soc = nullptr);
 
 /**
- * Full versioned results document.  Stamped schema version 2 when the
- * records carry per-kernel stats (`RunResult::kernels`), version 1
- * otherwise; a mix of records with and without per-kernel stats is a
- * fatal error (the two schemas cannot share a document).
+ * Full versioned results document.  Stamped schema version 3 when the
+ * records carry per-tenant stats (`RunResult::tenants`), version 2 when
+ * they carry per-kernel stats (`RunResult::kernels`), version 1
+ * otherwise; a mix of tenant and non-tenant records — or, among
+ * non-tenant records, of records with and without per-kernel stats —
+ * is a fatal error (the schemas cannot share a document).
  */
 Json resultsToJson(const ExportMeta &meta,
                    const std::vector<ResultRecord> &records);
@@ -183,8 +199,10 @@ Json resultsToJson(const ExportMeta &meta,
  * schema field must be present with the right type, and documents
  * with an unknown schema_version are rejected outright.  Version 2
  * documents must carry a non-empty "kernels" array in every record;
- * version 1 documents must carry none (the seen version is recorded
- * in `meta.schema_version`).  Imported
+ * version 1 documents must carry none; version 3 documents must carry
+ * every tenant-block field in every record ("kernels" then optional),
+ * and versions 1/2 reject any tenant-block field (the seen version is
+ * recorded in `meta.schema_version`).  Imported
  * records carry the document's (effective) SocConfig with `raw_soc`
  * set, so re-exporting them emits byte-identical "soc" objects.
  * Returns false and stores a message in @p err on any mismatch.

@@ -11,7 +11,8 @@ namespace gvc
 
 RunResult
 runSource(trace::KernelSource &source, const RunConfig &cfg,
-          const InspectFn &inspect, trace::Trace *capture)
+          const InspectFn &inspect, trace::Trace *capture,
+          const RunHooks *hooks)
 {
     // The seed comes from the source so a trace replays with the same
     // simulation context the live run had.
@@ -52,7 +53,19 @@ runSource(trace::KernelSource &source, const RunConfig &cfg,
     std::size_t next_bound = 0;
     for (std::size_t i = 0; i < launches.size(); ++i) {
         bool done = false;
-        gpu.launch(std::move(launches[i]), [&done] { done = true; });
+        // A start_at hook models a kernel arrival process: a launch
+        // whose arrival is still in the future waits on the event
+        // queue (the GPU sits idle), otherwise it starts immediately.
+        const Tick at =
+            hooks && hooks->start_at ? hooks->start_at(i) : 0;
+        if (at > ctx.now()) {
+            ctx.eq.schedule(at, [&gpu, &launches, &done, i] {
+                gpu.launch(std::move(launches[i]),
+                           [&done] { done = true; });
+            });
+        } else {
+            gpu.launch(std::move(launches[i]), [&done] { done = true; });
+        }
         ctx.eq.run();
         if (!done)
             panic("runSource: kernel failed to drain the event queue");
@@ -68,6 +81,9 @@ runSource(trace::KernelSource &source, const RunConfig &cfg,
             prev_snap = snap;
             sut.applyBoundary(*policy);
             gpu.resetIssueState();
+            if (hooks && hooks->after_boundary)
+                hooks->after_boundary(next_bound, sut, gpu, dram, vm,
+                                      ctx);
             ++next_bound;
         }
     }
@@ -76,6 +92,8 @@ runSource(trace::KernelSource &source, const RunConfig &cfg,
         const KernelStats snap = collectKernelStats(sut, gpu, dram, ctx);
         per_kernel.push_back(kernelDelta(snap, prev_snap));
     }
+    if (hooks && hooks->at_end)
+        hooks->at_end(sut, gpu, dram, vm, ctx);
 
     const Tick end = ctx.now();
     if (Iommu *io = sut.iommu())
@@ -83,6 +101,7 @@ runSource(trace::KernelSource &source, const RunConfig &cfg,
     sut.flushLifetimes();
 
     RunResult r;
+    sut.collectTlbRefs(r.percu_tlb_refs, r.iommu_tlb_refs);
     r.workload = source.name();
     r.design = cfg.design;
     r.kernels = std::move(per_kernel);

@@ -16,6 +16,7 @@
 #include "gpu/gpu.hh"
 #include "harness/scenario.hh"
 #include "mmu/designs.hh"
+#include "tlb/tlb.hh"
 #include "trace/kernel_source.hh"
 #include "workloads/registry.hh"
 
@@ -95,6 +96,18 @@ struct RunResult
      * the cumulative totals either way.
      */
     std::vector<KernelStats> kernels;
+
+    // --- multi-tenant runs (runTenants; empty/zero otherwise) ---
+    /** Per-tenant stat deltas; sum field-exactly to the totals above. */
+    std::vector<TenantStats> tenants;
+    /** Scheduler slot transitions where the running tenant changed. */
+    std::uint64_t tenant_context_switches = 0;
+    /** Pages hit by injected shootdown-storm protect bursts. */
+    std::uint64_t tenant_storm_pages = 0;
+
+    // --- TLB entry-lifetime histograms (always collected) ---
+    TlbRefHist percu_tlb_refs; ///< Per-CU TLBs (designs that have them).
+    TlbRefHist iommu_tlb_refs; ///< Shared IOMMU TLB.
 };
 
 /**
@@ -105,6 +118,37 @@ using InspectFn =
     std::function<void(SystemUnderTest &, Gpu &, SimContext &)>;
 
 /**
+ * Optional scheduler hooks threaded through runSource for multi-tenant
+ * runs.  All three are cold-path (invoked between kernels, never inside
+ * the event loop), and a null hook — or a null RunHooks pointer — keeps
+ * runSource byte-identical to the hook-free path.
+ */
+struct RunHooks
+{
+    /**
+     * Earliest tick kernel @p i may launch (an arrival process).  When
+     * the returned tick is in the past the launch is immediate, so a
+     * hook returning 0 is equivalent to no hook.
+     */
+    std::function<Tick(std::size_t i)> start_at;
+
+    /**
+     * Invoked after boundary @p b's policy has been applied and the GPU
+     * issue state rebased, before the next launch.  This is where a
+     * tenant scheduler snapshots per-slot deltas, applies per-ASID
+     * shootdowns, and injects shootdown storms through the Vm.
+     */
+    std::function<void(std::size_t b, SystemUnderTest &, Gpu &, Dram &,
+                       Vm &, SimContext &)>
+        after_boundary;
+
+    /** Invoked once after the last kernel drains (final snapshot). */
+    std::function<void(SystemUnderTest &, Gpu &, Dram &, Vm &,
+                       SimContext &)>
+        at_end;
+};
+
+/**
  * Execute @p source under @p cfg — the core runner; every entry point
  * funnels here.  The simulation seed and workload identity come from
  * the source, so a TraceKernelSource reproduces the live run exactly.
@@ -113,7 +157,8 @@ using InspectFn =
  */
 RunResult runSource(trace::KernelSource &source, const RunConfig &cfg,
                     const InspectFn &inspect = {},
-                    trace::Trace *capture = nullptr);
+                    trace::Trace *capture = nullptr,
+                    const RunHooks *hooks = nullptr);
 
 /**
  * Execute @p workload_name under @p cfg.  If `cfg.trace_in` is set the

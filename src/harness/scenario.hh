@@ -12,6 +12,7 @@
 #define GVC_HARNESS_SCENARIO_HH
 
 #include <cstdint>
+#include <string>
 
 #include "gpu/gpu.hh"
 #include "mem/dram.hh"
@@ -63,6 +64,28 @@ struct KernelStats
         return true;
     }
     bool operator!=(const KernelStats &o) const { return !(*this == o); }
+};
+
+/**
+ * One tenant's share of a multi-tenant run: the cumulative-counter
+ * deltas of every slot the scheduler attributed to it (X-macro driven
+ * through KernelStats, so the field set can never drift from the
+ * per-kernel stats).  Per-tenant deltas partition the run's timeline,
+ * so they sum field-exactly to the run's cumulative totals.
+ */
+struct TenantStats
+{
+    std::string workload;
+    std::uint64_t launches = 0; ///< Kernel launches executed.
+    KernelStats stats;
+
+    bool
+    operator==(const TenantStats &o) const
+    {
+        return workload == o.workload && launches == o.launches &&
+               stats == o.stats;
+    }
+    bool operator!=(const TenantStats &o) const { return !(*this == o); }
 };
 
 /** How to run a multi-kernel scenario. */

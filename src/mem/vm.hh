@@ -13,13 +13,13 @@
 #define GVC_MEM_VM_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "mem/page_table.hh"
 #include "mem/phys_mem.hh"
+#include "sim/callback.hh"
 #include "sim/types.hh"
 
 namespace gvc
@@ -59,9 +59,9 @@ class Vm
 {
   public:
     /** Per-page shootdown callback: (asid, vpn). */
-    using PageShootdownFn = std::function<void(Asid, Vpn)>;
+    using PageShootdownFn = SmallFunc<void(Asid, Vpn)>;
     /** Full address-space shootdown callback: (asid). */
-    using FullShootdownFn = std::function<void(Asid)>;
+    using FullShootdownFn = SmallFunc<void(Asid)>;
 
     explicit Vm(PhysMem &pm) : pm_(pm) {}
 
@@ -178,7 +178,7 @@ class Vm
     void
     shootdownAll(Asid asid)
     {
-        for (const auto &fn : full_listeners_)
+        for (auto &fn : full_listeners_)
             fn(asid);
     }
 
@@ -258,7 +258,7 @@ class Vm
     firePageShootdown(Asid asid, Vpn vpn)
     {
         ++page_shootdowns_;
-        for (const auto &fn : page_listeners_)
+        for (auto &fn : page_listeners_)
             fn(asid, vpn);
     }
 
@@ -270,6 +270,102 @@ class Vm
     std::vector<VmOp> op_log_;
     bool recording_ = false;
 };
+
+/**
+ * Rebase a recorded op log onto a Vm that already owns @p asid_base
+ * processes: every ASID reference shifts up by @p asid_base, so N
+ * independently captured single-process logs concatenate into one
+ * multi-process image.  Replay order still matters for frame identity
+ * (PhysMem allocates in call order), but each process's *virtual*
+ * layout is position-independent — the per-process bump allocator
+ * always starts at the same VA.
+ */
+inline std::vector<VmOp>
+rebaseVmOps(const std::vector<VmOp> &ops, Asid asid_base)
+{
+    std::vector<VmOp> out;
+    out.reserve(ops.size());
+    for (VmOp op : ops) {
+        if (op.kind != VmOp::Kind::kCreateProcess) {
+            op.asid = Asid(op.asid + asid_base);
+            if (op.kind == VmOp::Kind::kAlias)
+                op.src_asid = Asid(op.src_asid + asid_base);
+        }
+        out.push_back(op);
+    }
+    return out;
+}
+
+/** A mapped anonymous region reconstructed from an op log. */
+struct VmRegion
+{
+    Asid asid = 0;
+    Vaddr base = 0;
+    std::uint64_t bytes = 0; ///< Page-rounded mapped size.
+    Perms perms = kPermNone; ///< Perms the region was mapped with.
+};
+
+/**
+ * Reconstruct the writable small-page anonymous regions an op log maps,
+ * with their base VAs, by replaying the reservation arithmetic of Vm's
+ * per-process bump allocator (the op log records sizes, not addresses).
+ * ASIDs in the result are shifted by @p asid_base to match rebaseVmOps.
+ * Large-page and alias regions are tracked for address accounting but
+ * not reported: they are poor shootdown-storm targets (a 4 KB protect
+ * inside a 2 MB mapping would have to split the page, and alias targets
+ * double-fire on the source mapping).  Regions the log itself later
+ * protects or unmaps (even partially) are dropped too, so a storm's
+ * protect-and-restore can never overwrite workload-chosen permissions.
+ */
+inline std::vector<VmRegion>
+anonWriteRegions(const std::vector<VmOp> &ops, Asid asid_base = 0)
+{
+    constexpr Vaddr kFirstVa = 0x1000'0000; // ProcState::next_va start
+    const auto pages = [](std::uint64_t bytes) {
+        return (bytes + kPageSize - 1) >> kPageShift;
+    };
+    std::vector<Vaddr> next;
+    std::vector<VmRegion> out;
+    for (const VmOp &op : ops) {
+        switch (op.kind) {
+          case VmOp::Kind::kCreateProcess:
+            next.push_back(kFirstVa);
+            break;
+          case VmOp::Kind::kMmapAnon: {
+            const std::uint64_t n = pages(op.bytes);
+            const Vaddr base = next[op.asid];
+            next[op.asid] += (n + 1) * kPageSize; // region + guard page
+            if (permsAllow(op.perms, kPermWrite)) {
+                out.push_back(VmRegion{Asid(op.asid + asid_base), base,
+                                       n * kPageSize, op.perms});
+            }
+            break;
+          }
+          case VmOp::Kind::kMmapAnonLarge: {
+            const std::uint64_t large =
+                (op.bytes + kLargePageSize - 1) / kLargePageSize;
+            const std::uint64_t align = 512 * kPageSize;
+            next[op.asid] = (next[op.asid] + align - 1) & ~(align - 1);
+            next[op.asid] += (large * 512 + 512) * kPageSize;
+            break;
+          }
+          case VmOp::Kind::kAlias:
+            next[op.asid] += (pages(op.bytes) + 1) * kPageSize;
+            break;
+          case VmOp::Kind::kProtect:
+          case VmOp::Kind::kUnmap: {
+            const Vaddr lo = op.base;
+            const Vaddr hi = op.base + pages(op.bytes) * kPageSize;
+            std::erase_if(out, [&](const VmRegion &r) {
+                return r.asid == Asid(op.asid + asid_base) &&
+                       r.base < hi && lo < r.base + r.bytes;
+            });
+            break;
+          }
+        }
+    }
+    return out;
+}
 
 /** Replay a recorded operation log into @p vm (trace replay). */
 inline void

@@ -98,6 +98,17 @@ class BaselineMmuSystem final : public GpuMemInterface
 
     Tlb &perCuTlb(unsigned cu) { return *tlbs_[cu]; }
     const Tlb &perCuTlb(unsigned cu) const { return *tlbs_[cu]; }
+
+    /** Fold per-CU TLB entry reference counts into @p percu. */
+    void
+    collectTlbRefs(TlbRefHist &percu)
+    {
+        for (auto &tlb : tlbs_) {
+            tlb->flushResidentRefs();
+            percu.merge(tlb->refHist());
+        }
+    }
+
     Iommu &iommu() { return iommu_; }
     const Iommu &iommu() const { return iommu_; }
     PhysCaches &caches() { return caches_; }

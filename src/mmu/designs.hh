@@ -197,6 +197,25 @@ class SystemUnderTest
             l1vc_->caches().flushLifetimes();
     }
 
+    /**
+     * Fold TLB entry reference-count histograms into @p percu (per-CU
+     * TLBs, where the design has them) and @p iommu (the shared IOMMU
+     * TLB).  Still-resident entries are flushed in first, so call once
+     * at simulation end.
+     */
+    void
+    collectTlbRefs(TlbRefHist &percu, TlbRefHist &iommu_hist)
+    {
+        if (baseline_)
+            baseline_->collectTlbRefs(percu);
+        if (l1vc_)
+            l1vc_->collectTlbRefs(percu);
+        if (Iommu *io = iommu()) {
+            io->tlb().flushResidentRefs();
+            iommu_hist.merge(io->tlb().refHist());
+        }
+    }
+
     /** Apply a kernel-boundary policy to whichever system is built. */
     void
     applyBoundary(const BoundaryPolicy &p)

@@ -121,6 +121,18 @@ class L1OnlyVcSystem final : public GpuMemInterface
                     });
             }
         });
+        // Full-AS shootdown: the virtual L1s cache lines under this
+        // ASID's names, so they must drop whenever its translations do
+        // (same rule as the per-page path above, whole address space).
+        vm.addFullShootdownListener([this](Asid asid) {
+            for (unsigned cu = 0; cu < l1s_.size(); ++cu) {
+                tlbs_[cu]->invalidateAsid(asid, ctx_.now());
+                l1s_[cu]->invalidateAsid(
+                    asid, [this](const CacheLineInfo &info) {
+                        registryEvict(info.asid, info.line_addr);
+                    });
+            }
+        });
     }
 
     void
@@ -140,6 +152,17 @@ class L1OnlyVcSystem final : public GpuMemInterface
 
     Tlb &perCuTlb(unsigned cu) { return *tlbs_[cu]; }
     CacheArray &l1(unsigned cu) { return *l1s_[cu]; }
+
+    /** Fold per-CU TLB entry reference counts into @p percu. */
+    void
+    collectTlbRefs(TlbRefHist &percu)
+    {
+        for (auto &tlb : tlbs_) {
+            tlb->flushResidentRefs();
+            percu.merge(tlb->refHist());
+        }
+    }
+
     Iommu &iommu() { return iommu_; }
     const Iommu &iommu() const { return iommu_; }
     PhysCaches &caches() { return caches_; }

@@ -8,6 +8,7 @@
 #ifndef GVC_TLB_TLB_HH
 #define GVC_TLB_TLB_HH
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -50,6 +51,69 @@ struct TlbLookup
 };
 
 /**
+ * Per-entry reference-count histogram over completed residencies
+ * (insert -> evict/invalidate, plus still-resident entries flushed at
+ * simulation end).  Bucket 0 counts dead-on-arrival entries — filled
+ * but never re-referenced before leaving the TLB, the population "Dead
+ * on Arrival" characterizes; bucket b >= 1 counts residencies with
+ * refs in [2^(b-1), 2^b), saturating in the last bucket.
+ */
+struct TlbRefHist
+{
+    static constexpr std::size_t kBuckets = 12;
+
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t retired = 0; ///< Residencies recorded (sum of buckets).
+    std::uint64_t dead = 0;    ///< Residencies with zero re-references.
+
+    static std::size_t
+    bucketOf(std::uint64_t refs)
+    {
+        if (refs == 0)
+            return 0;
+        std::size_t b = 1;
+        while (refs > 1 && b + 1 < kBuckets) {
+            refs >>= 1;
+            ++b;
+        }
+        return b;
+    }
+
+    void
+    record(std::uint64_t refs)
+    {
+        ++buckets[bucketOf(refs)];
+        ++retired;
+        if (refs == 0)
+            ++dead;
+    }
+
+    void
+    merge(const TlbRefHist &o)
+    {
+        for (std::size_t i = 0; i < kBuckets; ++i)
+            buckets[i] += o.buckets[i];
+        retired += o.retired;
+        dead += o.dead;
+    }
+
+    /** Fraction of residencies never re-referenced (0 when empty). */
+    double
+    deadFraction() const
+    {
+        return retired ? double(dead) / double(retired) : 0.0;
+    }
+
+    bool
+    operator==(const TlbRefHist &o) const
+    {
+        return buckets == o.buckets && retired == o.retired &&
+               dead == o.dead;
+    }
+    bool operator!=(const TlbRefHist &o) const { return !(*this == o); }
+};
+
+/**
  * A TLB caching 4 KB-granularity translations.  Large-page translations
  * are cached per 4 KB region they cover (a common simplification which
  * only affects capacity pressure, not correctness).
@@ -85,7 +149,8 @@ class Tlb
         if (params_.infinite) {
             if (memo_inf_ && memo_asid_ == asid && memo_vpn_ == vpn) {
                 ++hits_;
-                return *memo_inf_;
+                ++memo_inf_->refs;
+                return memo_inf_->xlate;
             }
             auto it = inf_.find(key(asid, vpn));
             if (it == inf_.end()) {
@@ -93,6 +158,7 @@ class Tlb
                 return std::nullopt;
             }
             ++hits_;
+            ++it->second.refs;
             if (params_.memo) {
                 // Pointers into inf_ stay valid across emplace/rehash;
                 // the erase paths below drop the memo explicitly.
@@ -100,7 +166,7 @@ class Tlb
                 memo_asid_ = asid;
                 memo_vpn_ = vpn;
             }
-            return it->second;
+            return it->second.xlate;
         }
         auto &set = sets_[setIndex(vpn)];
         if (memo_way_ != kNoMemo && memo_asid_ == asid &&
@@ -114,6 +180,7 @@ class Tlb
                     ++hits_;
                     e.last_used = now;
                     e.lru = ++lru_clock_;
+                    ++e.refs;
                     return TlbLookup{e.ppn, e.perms, e.large};
                 }
             }
@@ -125,6 +192,7 @@ class Tlb
                 ++hits_;
                 e.last_used = now;
                 e.lru = ++lru_clock_;
+                ++e.refs;
                 if (params_.memo) {
                     memo_set_ = setIndex(vpn);
                     memo_way_ = i;
@@ -165,7 +233,7 @@ class Tlb
     {
         ++fills_;
         if (params_.infinite) {
-            inf_.emplace(key(asid, vpn), xlate);
+            inf_.emplace(key(asid, vpn), InfEntry{xlate, 0});
             return;
         }
         auto &set = sets_[setIndex(vpn)];
@@ -180,7 +248,7 @@ class Tlb
         }
         if (set.size() < assoc_) {
             set.push_back(Entry{asid, vpn, xlate.ppn, xlate.perms,
-                                xlate.large, now, now, ++lru_clock_});
+                                xlate.large, now, now, ++lru_clock_, 0});
             return;
         }
         std::size_t victim = 0;
@@ -189,7 +257,7 @@ class Tlb
                 victim = i;
         retire(set[victim], now);
         set[victim] = Entry{asid, vpn, xlate.ppn, xlate.perms,
-                            xlate.large, now, now, ++lru_clock_};
+                            xlate.large, now, now, ++lru_clock_, 0};
     }
 
     /** Invalidate one page's entry if present. @return true if evicted. */
@@ -198,8 +266,14 @@ class Tlb
     {
         ++shootdowns_;
         clearMemo();
-        if (params_.infinite)
-            return inf_.erase(key(asid, vpn)) != 0;
+        if (params_.infinite) {
+            auto it = inf_.find(key(asid, vpn));
+            if (it == inf_.end())
+                return false;
+            ref_hist_.record(it->second.refs);
+            inf_.erase(it);
+            return true;
+        }
         auto &set = sets_[setIndex(vpn)];
         for (std::size_t i = 0; i < set.size(); ++i) {
             if (set[i].asid == asid && set[i].vpn == vpn) {
@@ -218,10 +292,12 @@ class Tlb
         clearMemo();
         if (params_.infinite) {
             for (auto it = inf_.begin(); it != inf_.end();) {
-                if (Asid(it->first >> 48) == asid)
+                if (Asid(it->first >> 48) == asid) {
+                    ref_hist_.record(it->second.refs);
                     it = inf_.erase(it);
-                else
+                } else {
                     ++it;
+                }
             }
             return;
         }
@@ -240,6 +316,8 @@ class Tlb
     invalidateAll(Tick now = 0)
     {
         clearMemo();
+        for (const auto &[k, e] : inf_)
+            ref_hist_.record(e.refs);
         inf_.clear();
         for (auto &set : sets_) {
             for (auto &e : set)
@@ -263,6 +341,28 @@ class Tlb
 
     const LifetimeRecorder &lifetimes() const { return lifetimes_; }
 
+    /**
+     * Reference counts of completed residencies (always tracked — the
+     * bookkeeping is host-side only and never perturbs simulated
+     * behavior).  Residencies still live at simulation end are only
+     * included after flushResidentRefs().
+     */
+    const TlbRefHist &refHist() const { return ref_hist_; }
+
+    /** Fold still-resident entries into refHist() (simulation end). */
+    void
+    flushResidentRefs()
+    {
+        if (refs_flushed_)
+            return;
+        refs_flushed_ = true;
+        for (const auto &[k, e] : inf_)
+            ref_hist_.record(e.refs);
+        for (const auto &set : sets_)
+            for (const auto &e : set)
+                ref_hist_.record(e.refs);
+    }
+
     unsigned numSets() const { return num_sets_; }
     unsigned assoc() const { return assoc_; }
 
@@ -277,6 +377,16 @@ class Tlb
         Tick inserted;
         Tick last_used;
         std::uint64_t lru;
+        /// Hits after insertion this residency (value-initialized: the
+        /// aggregate-init sites below list only the first 8 members).
+        std::uint32_t refs;
+    };
+
+    /** Infinite-mode entry: the translation plus its residency refs. */
+    struct InfEntry
+    {
+        TlbLookup xlate;
+        std::uint32_t refs = 0;
     };
 
     static std::uint64_t
@@ -292,19 +402,20 @@ class Tlb
     {
         if (params_.track_lifetimes && now > e.inserted)
             lifetimes_.record(now - e.inserted);
+        ref_hist_.record(e.refs);
     }
 
     TlbParams params_;
     unsigned num_sets_ = 1;
     unsigned assoc_ = 1;
     std::vector<std::vector<Entry>> sets_;
-    std::unordered_map<std::uint64_t, TlbLookup> inf_;
+    std::unordered_map<std::uint64_t, InfEntry> inf_;
     std::uint64_t lru_clock_ = 0;
 
     static constexpr std::size_t kNoMemo = std::size_t(-1);
     std::size_t memo_set_ = 0;
     std::size_t memo_way_ = kNoMemo;
-    const TlbLookup *memo_inf_ = nullptr;
+    InfEntry *memo_inf_ = nullptr;
     Asid memo_asid_ = 0;
     Vpn memo_vpn_ = 0;
 
@@ -314,6 +425,8 @@ class Tlb
     Counter fills_;
     Counter shootdowns_;
     LifetimeRecorder lifetimes_;
+    TlbRefHist ref_hist_;
+    bool refs_flushed_ = false;
 };
 
 } // namespace gvc

@@ -1,0 +1,42 @@
+# CLI smoke test: run a small tenant grid twice with different worker
+# counts and require the JSON exports to match apart from the recorded
+# jobs value — the determinism-across-GVC_JOBS property.  Mirrors the
+# CI multi-tenant step so the property is checked by `ctest` locally.
+
+set(args --workloads pagerank,bfs --designs baseline512,vc_opt
+         --rounds 2 --switch keep-all,asid-shootdown --storm 0,4
+         --arrival poisson --interval 500 --sched fifo
+         --scale 0.05 --quiet --no-table)
+
+function(run_checked)
+    execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        string(JOIN " " cmd ${ARGN})
+        message(FATAL_ERROR "command failed (${rc}): ${cmd}")
+    endif()
+endfunction()
+
+run_checked(${GVC_TENANTS} ${args} --jobs 1
+            --json ${WORK_DIR}/tenants_j1.json)
+run_checked(${GVC_TENANTS} ${args} --jobs 4
+            --json ${WORK_DIR}/tenants_j4.json)
+
+# The worker count is recorded in the meta block; normalize it before
+# comparing so only genuine result drift can fail the check.
+foreach(f tenants_j1 tenants_j4)
+    file(READ ${WORK_DIR}/${f}.json doc)
+    string(REGEX REPLACE "\"jobs\": [0-9]+" "\"jobs\": 0" doc "${doc}")
+    file(WRITE ${WORK_DIR}/${f}_norm.json "${doc}")
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/tenants_j1_norm.json
+            ${WORK_DIR}/tenants_j4_norm.json
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+            "tenant grid results depend on the worker count")
+endif()
+
+message(STATUS "tenant grid is deterministic across worker counts")

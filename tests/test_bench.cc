@@ -33,15 +33,19 @@ smallOptions()
 TEST(Bench, MatrixShape)
 {
     const auto matrix = benchMatrix();
-    // 3 modes x 3 workloads x 3 designs, plus the sweep config.
-    EXPECT_EQ(matrix.size(), 28u);
-    unsigned sweeps = 0;
+    // 3 modes x 3 workloads x 3 designs, plus 2 tenant cells and the
+    // sweep config.
+    EXPECT_EQ(matrix.size(), 30u);
+    unsigned sweeps = 0, tenants = 0;
     for (const auto &cfg : matrix) {
         EXPECT_FALSE(cfg.name().empty());
         if (cfg.mode == "sweep")
             ++sweeps;
+        if (cfg.mode == "tenants")
+            ++tenants;
     }
     EXPECT_EQ(sweeps, 1u);
+    EXPECT_EQ(tenants, 2u);
 }
 
 TEST(Bench, ColdCountersMatchPlainRunner)
