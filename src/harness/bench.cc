@@ -203,6 +203,13 @@ benchMatrix()
         matrix.push_back(
             BenchConfig{"tenants", "pagerank+bfs", designName(d)});
     matrix.push_back(BenchConfig{"sweep", "grid", "3x3"});
+    // Reach-generalized designs: one cold cell each, on the most
+    // translation-bound bench workload, so regressions in the reach,
+    // coalescing, and stash paths show up in the perf history.
+    for (const MmuDesign d :
+         {MmuDesign::kBase2MB, MmuDesign::kBaseCoalesced,
+          MmuDesign::kBaseVictima})
+        matrix.push_back(BenchConfig{"cold", "pagerank", designName(d)});
     return matrix;
 }
 

@@ -98,6 +98,9 @@ designSpellings()
         {"vcopt", MmuDesign::kVcOpt},
         {"l1vc32", MmuDesign::kL1Vc32},
         {"l1vc128", MmuDesign::kL1Vc128},
+        {"base2mb", MmuDesign::kBase2MB},
+        {"basecoalesced", MmuDesign::kBaseCoalesced},
+        {"basevictima", MmuDesign::kBaseVictima},
     };
     return map;
 }
@@ -141,6 +144,13 @@ applyRawDesignIntent(RunConfig &cfg, const RawSocOverrides &user)
     cfg.soc.iommu.tlb_infinite = d.iommu.tlb_infinite;
     cfg.soc.iommu.unlimited_bw =
         cfg.soc.iommu.unlimited_bw || d.iommu.unlimited_bw;
+    // Reach-generalized designs are defined by these knobs, not by
+    // structure sizes, so raw mode must carry them too.
+    cfg.soc.vm_page_policy = d.vm_page_policy;
+    cfg.soc.tlb_max_reach = d.tlb_max_reach;
+    cfg.soc.tlb_merge_on_insert = d.tlb_merge_on_insert;
+    cfg.soc.coalesce_max_reach = d.coalesce_max_reach;
+    cfg.soc.victima_stash = d.victima_stash;
 }
 
 bool

@@ -490,6 +490,22 @@ Json::parse(const std::string &text, std::string *err)
     X(fbt_purges)                                                       \
     X(fbt_valid_pages)
 
+// Reach-generalized translation counters: zero for the classic designs,
+// so they are emitted only when nonzero (keeping pre-existing exports
+// byte-identical) and imported as optional with default 0.
+#define GVC_RUNRESULT_U64_OPT_FIELDS(X)                                 \
+    X(tlb_reach_hits)                                                   \
+    X(tlb_reach_fills)                                                  \
+    X(tlb_merges)                                                       \
+    X(tlb_fill_bypasses)                                                \
+    X(iommu_reach_hits)                                                 \
+    X(iommu_reach_fills)                                                \
+    X(iommu_coalesced_fills)                                            \
+    X(large_page_walks)                                                 \
+    X(victima_stashes)                                                  \
+    X(victima_probes)                                                   \
+    X(victima_hits)
+
 #define GVC_RUNRESULT_F64_FIELDS(X)                                     \
     X(lines_per_mem_inst)                                               \
     X(tlb_miss_ratio)                                                   \
@@ -565,6 +581,20 @@ socConfigToJson(const SocConfig &soc)
     j.set("percu_tlb_entries", soc.percu_tlb_entries);
     j.set("percu_tlb_assoc", soc.percu_tlb_assoc);
     j.set("percu_tlb_infinite", soc.percu_tlb_infinite);
+    // Reach-stack knobs: emitted only when non-default so pre-existing
+    // configurations keep their exact serialized form.
+    if (soc.percu_tlb_fill_policy != kTlbFillLru)
+        j.set("percu_tlb_fill_policy", soc.percu_tlb_fill_policy);
+    if (soc.tlb_max_reach)
+        j.set("tlb_max_reach", soc.tlb_max_reach);
+    if (soc.tlb_merge_on_insert)
+        j.set("tlb_merge_on_insert", soc.tlb_merge_on_insert);
+    if (soc.coalesce_max_reach)
+        j.set("coalesce_max_reach", soc.coalesce_max_reach);
+    if (soc.victima_stash)
+        j.set("victima_stash", soc.victima_stash);
+    if (soc.vm_page_policy)
+        j.set("vm_page_policy", soc.vm_page_policy);
     j.set("iommu", std::move(iommu));
     j.set("fbt", std::move(fbt));
     j.set("fbt_as_second_level_tlb", soc.fbt_as_second_level_tlb);
@@ -614,6 +644,11 @@ runResultToJson(const RunResult &r, const SocConfig *soc)
     j.set("design", designName(r.design));
 #define X(field) j.set(#field, std::uint64_t(r.field));
     GVC_RUNRESULT_U64_FIELDS(X)
+#undef X
+#define X(field)                                                        \
+    if (r.field)                                                        \
+        j.set(#field, std::uint64_t(r.field));
+    GVC_RUNRESULT_U64_OPT_FIELDS(X)
 #undef X
 #define X(field) j.set(#field, r.field);
     GVC_RUNRESULT_F64_FIELDS(X)
@@ -830,6 +865,53 @@ struct Importer
         return true;
     }
 
+    /**
+     * Optional variants: absent keys keep @p out at its default (they
+     * exist for the reach-stack additions, which older documents —
+     * and classic-design records — legitimately omit).
+     */
+    bool
+    optU64(const Json &obj, const char *key, const std::string &ctx,
+           std::uint64_t &out)
+    {
+        const Json *v = obj.find(key);
+        if (!v)
+            return true;
+        if (!v->isNumber())
+            return fail(ctx + "." + key + ": expected a number");
+        out = v->asU64();
+        return true;
+    }
+
+    bool
+    optUnsigned(const Json &obj, const char *key,
+                const std::string &ctx, unsigned &out)
+    {
+        const Json *v = obj.find(key);
+        if (!v)
+            return true;
+        std::uint64_t u = 0;
+        if (!getU64(obj, key, ctx, u))
+            return false;
+        if (u > 0xffffffffull)
+            return fail(ctx + "." + key + ": value out of range");
+        out = unsigned(u);
+        return true;
+    }
+
+    bool
+    optBool(const Json &obj, const char *key, const std::string &ctx,
+            bool &out)
+    {
+        const Json *v = obj.find(key);
+        if (!v)
+            return true;
+        if (v->type() != Json::Type::kBool)
+            return fail(ctx + "." + key + ": expected a bool");
+        out = v->asBool();
+        return true;
+    }
+
     const Json *
     getObject(const Json &obj, const char *key, const std::string &ctx)
     {
@@ -885,6 +967,16 @@ socConfigFromJson(Importer &imp, const Json &j, const std::string &ctx,
                          soc.percu_tlb_assoc) ||
         !imp.getBool(j, "percu_tlb_infinite", ctx,
                      soc.percu_tlb_infinite))
+        return false;
+    if (!imp.optUnsigned(j, "percu_tlb_fill_policy", ctx,
+                         soc.percu_tlb_fill_policy) ||
+        !imp.optUnsigned(j, "tlb_max_reach", ctx, soc.tlb_max_reach) ||
+        !imp.optBool(j, "tlb_merge_on_insert", ctx,
+                     soc.tlb_merge_on_insert) ||
+        !imp.optUnsigned(j, "coalesce_max_reach", ctx,
+                         soc.coalesce_max_reach) ||
+        !imp.optBool(j, "victima_stash", ctx, soc.victima_stash) ||
+        !imp.optUnsigned(j, "vm_page_policy", ctx, soc.vm_page_policy))
         return false;
 
     const Json *iommu = imp.getObject(j, "iommu", ctx);
@@ -995,6 +1087,15 @@ resultRecordFromJson(Importer &imp, const Json &j,
         rec.result.field = v;                                           \
     }
     GVC_RUNRESULT_U64_FIELDS(X)
+#undef X
+#define X(field)                                                        \
+    {                                                                   \
+        std::uint64_t v = 0;                                            \
+        if (!imp.optU64(j, #field, ctx, v))                             \
+            return false;                                               \
+        rec.result.field = v;                                           \
+    }
+    GVC_RUNRESULT_U64_OPT_FIELDS(X)
 #undef X
 #define X(field)                                                        \
     if (!imp.getNumber(j, #field, ctx, rec.result.field))               \
@@ -1366,6 +1467,7 @@ resultsCsvHeader()
     std::string h = "workload,design";
 #define X(field) h += "," #field;
     GVC_RUNRESULT_U64_FIELDS(X)
+    GVC_RUNRESULT_U64_OPT_FIELDS(X)
     GVC_RUNRESULT_F64_FIELDS(X)
 #undef X
 #define X(field) h += ",tlb_breakdown." #field;
@@ -1388,6 +1490,7 @@ resultsCsvRow(const RunResult &r)
                   (unsigned long long)(r.field));                       \
     row += buf;
     GVC_RUNRESULT_U64_FIELDS(X)
+    GVC_RUNRESULT_U64_OPT_FIELDS(X)
 #undef X
 #define X(field)                                                        \
     row += ',';                                                         \

@@ -18,7 +18,12 @@ runSource(trace::KernelSource &source, const RunConfig &cfg,
     // simulation context the live run had.
     SimContext ctx(source.params().seed);
     PhysMem pm(cfg.soc.phys_mem_bytes);
+    // The design's page policy must be live before setup() maps any
+    // region, so the resolved SocConfig is needed ahead of the Vm.
+    const SocConfig soc =
+        cfg.raw_soc ? cfg.soc : configFor(cfg.design, cfg.soc);
     Vm vm(pm);
+    vm.setPagePolicy(Vm::PagePolicy(soc.vm_page_policy));
 
     if (capture) {
         capture->workload = source.name();
@@ -32,8 +37,6 @@ runSource(trace::KernelSource &source, const RunConfig &cfg,
     }
 
     Dram dram(ctx, cfg.soc.dram);
-    const SocConfig soc =
-        cfg.raw_soc ? cfg.soc : configFor(cfg.design, cfg.soc);
     SystemUnderTest sut(ctx, soc, vm, dram, cfg.design);
     Gpu gpu(ctx, soc.gpu, sut.memIf());
 
@@ -124,6 +127,13 @@ runSource(trace::KernelSource &source, const RunConfig &cfg,
         r.l2_accesses = b->caches().l2().accesses();
         r.l1_hit_ratio = l1_acc ? double(l1_hit) / double(l1_acc) : 0.0;
         r.l2_hit_ratio = b->caches().l2().hitRatio();
+        r.tlb_reach_hits = b->tlbReachHits();
+        r.tlb_reach_fills = b->tlbReachFills();
+        r.tlb_merges = b->tlbMerges();
+        r.tlb_fill_bypasses = b->tlbFillBypasses();
+        r.victima_stashes = b->victimaStashes();
+        r.victima_probes = b->victimaProbes();
+        r.victima_hits = b->victimaHits();
     } else if (VirtualCacheSystem *v = sut.vc()) {
         std::uint64_t l1_acc = 0, l1_hit = 0;
         for (unsigned cu = 0; cu < soc.gpu.num_cus; ++cu) {
@@ -147,6 +157,10 @@ runSource(trace::KernelSource &source, const RunConfig &cfg,
             l1_hit += l->l1(cu).hits();
             t_acc += l->perCuTlb(cu).accesses();
             t_miss += l->perCuTlb(cu).misses();
+            r.tlb_reach_hits += l->perCuTlb(cu).reachHits();
+            r.tlb_reach_fills += l->perCuTlb(cu).reachFills();
+            r.tlb_merges += l->perCuTlb(cu).merges();
+            r.tlb_fill_bypasses += l->perCuTlb(cu).fillBypasses();
         }
         r.l1_accesses = l1_acc;
         r.l2_accesses = l->caches().l2().accesses();
@@ -179,6 +193,10 @@ runSource(trace::KernelSource &source, const RunConfig &cfg,
             io->sampler().fractionAboveThreshold();
         r.iommu_serialization_mean = io->meanSerializationDelay();
         r.page_walks = io->walks();
+        r.iommu_reach_hits = io->tlb().reachHits();
+        r.iommu_reach_fills = io->tlb().reachFills();
+        r.iommu_coalesced_fills = io->coalescedFills();
+        r.large_page_walks = io->ptw().largeWalks();
         if (r.fbt_second_level_hit_ratio == 0.0 &&
             io->secondLevelLookups() > 0) {
             r.fbt_second_level_hit_ratio =

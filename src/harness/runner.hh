@@ -89,6 +89,20 @@ struct RunResult
     std::uint64_t fbt_purges = 0;
     std::uint64_t fbt_valid_pages = 0; ///< Pages resident at end.
 
+    // --- reach-generalized translation stack (zero for classic
+    //     designs, so classic results keep their exact exports) ---
+    std::uint64_t tlb_reach_hits = 0;    ///< Per-CU hits on reach>0.
+    std::uint64_t tlb_reach_fills = 0;   ///< Per-CU reach>0 fills.
+    std::uint64_t tlb_merges = 0;        ///< Per-CU buddy merges.
+    std::uint64_t tlb_fill_bypasses = 0; ///< Predicted-dead fill skips.
+    std::uint64_t iommu_reach_hits = 0;
+    std::uint64_t iommu_reach_fills = 0;
+    std::uint64_t iommu_coalesced_fills = 0; ///< Contiguity-coalesced.
+    std::uint64_t large_page_walks = 0;      ///< Walks ending at 2 MB.
+    std::uint64_t victima_stashes = 0;       ///< Evictions parked in L2.
+    std::uint64_t victima_probes = 0;        ///< Stash probes on miss.
+    std::uint64_t victima_hits = 0;          ///< Probes that hit.
+
     /**
      * Per-kernel stat deltas for multi-kernel scenario runs, one entry
      * per kernel (delimited by the source's boundaries).  Empty for

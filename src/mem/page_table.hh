@@ -86,24 +86,36 @@ class PageTable
         e.perms = perms;
     }
 
-    /** Remove the mapping covering @p vpn. @return true if one existed. */
+    /**
+     * Remove the 4 KB mapping covering @p vpn.  A 2 MB leaf is first
+     * split into 512 4 KB leaves so only the named page disappears —
+     * the precise-shootdown contract: unmapping one page never takes
+     * out its 2 MB neighbours.  @return true if a mapping existed.
+     */
     bool
     unmap(Vpn vpn)
     {
         Entry *e = findLeaf(vpn);
         if (!e || !e->valid)
             return false;
+        if (e->large)
+            e = &splitLarge(*e, vpn);
         e->valid = false;
         return true;
     }
 
-    /** Change permissions of the mapping covering @p vpn. */
+    /**
+     * Change permissions of the 4 KB mapping covering @p vpn, splitting
+     * a covering 2 MB leaf first (see unmap()).
+     */
     bool
     protect(Vpn vpn, Perms perms)
     {
         Entry *e = findLeaf(vpn);
         if (!e || !e->valid)
             return false;
+        if (e->large)
+            e = &splitLarge(*e, vpn);
         e->perms = perms;
         return true;
     }
@@ -214,6 +226,34 @@ class PageTable
             n = e.child;
         }
         return n->entries[indexAt(vpn, levels - 1)];
+    }
+
+    /**
+     * Demote a 2 MB leaf to a PT node of 512 4 KB leaves mapping the
+     * same frames with the same perms, and return the 4 KB leaf entry
+     * for @p vpn.  Costs one radix-node frame; translate() results are
+     * unchanged (frames were contiguous and stay individually mapped).
+     */
+    Entry &
+    splitLarge(Entry &e, Vpn vpn)
+    {
+        const Ppn base = e.target;
+        const Perms perms = e.perms;
+        const Ppn child = pm_.allocFrame();
+        Node &cn = nodes_.emplace(child, Node{}).first->second;
+        for (unsigned i = 0; i < 512; ++i) {
+            Entry &le = cn.entries[i];
+            le.valid = true;
+            le.leaf = true;
+            le.large = false;
+            le.target = base + i;
+            le.perms = perms;
+        }
+        e.leaf = false;
+        e.large = false;
+        e.target = child;
+        e.child = &cn;
+        return cn.entries[vpn & 0x1ff];
     }
 
     const Entry *

@@ -49,7 +49,18 @@ struct VmOp
     Vaddr base = 0;    ///< Alias source base, or protect/unmap range base.
     std::uint64_t bytes = 0;
     Perms perms = kPermNone;
+    /**
+     * Contiguity metadata (kVmOpFlag*): records what the *recording*
+     * run's page policy did, so traces carry the allocation property
+     * explicitly.  Replay maps by the replaying Vm's own policy — the
+     * flags are descriptive, not prescriptive, which is what lets one
+     * captured trace replay under every design's policy.
+     */
+    std::uint8_t flags = 0;
 };
+
+/** The mapping's 2 MB-aligned interior was backed by large pages. */
+inline constexpr std::uint8_t kVmOpFlagContig = 1;
 
 /**
  * Owns all process address spaces and their page tables.  Components that
@@ -63,7 +74,24 @@ class Vm
     /** Full address-space shootdown callback: (asid). */
     using FullShootdownFn = SmallFunc<void(Asid)>;
 
+    /**
+     * Anonymous-mapping page-size policy (Mosaic-style transparent
+     * huge pages).  The virtual layout is policy-invariant — reserve()
+     * arithmetic never changes, so recorded warp streams stay valid
+     * across policies — and with a fresh PhysMem the frame sequence is
+     * identical too (both the 4 KB and contiguous allocators are pure
+     * bumps), making the policies differ only in mapping granularity.
+     */
+    enum class PagePolicy : std::uint8_t {
+        k4k = 0,         ///< Every anonymous page maps at 4 KB.
+        k2mInterior = 1, ///< 2 MB-aligned interiors map as 2 MB pages.
+    };
+
     explicit Vm(PhysMem &pm) : pm_(pm) {}
+
+    /** Select the anonymous-mapping policy (before any mmapAnon). */
+    void setPagePolicy(PagePolicy p) { policy_ = p; }
+    PagePolicy pagePolicy() const { return policy_; }
 
     /** Create a new address space; returns its ASID. */
     Asid
@@ -91,12 +119,29 @@ class Vm
     mmapAnon(Asid asid, std::uint64_t bytes,
              Perms perms = kPermRead | kPermWrite)
     {
-        record({VmOp::Kind::kMmapAnon, asid, 0, 0, bytes, perms});
         ProcState &p = proc(asid);
         const std::uint64_t pages = pageCount(bytes);
         const Vaddr base = p.reserve(pages);
-        for (std::uint64_t i = 0; i < pages; ++i)
-            p.pt.map(pageOf(base) + i, pm_.allocFrame(), perms);
+        const Vpn first = pageOf(base);
+        const Vpn end = first + pages;
+        // The 2 MB-aligned interior, when the policy maps it large.
+        const Vpn lo = (first + 511) & ~Vpn{511};
+        const bool contig = policy_ == PagePolicy::k2mInterior &&
+                            lo + 512 <= end;
+        record({VmOp::Kind::kMmapAnon, asid, 0, 0, bytes, perms,
+                contig ? kVmOpFlagContig : std::uint8_t(0)});
+        if (!contig) {
+            for (Vpn v = first; v < end; ++v)
+                p.pt.map(v, pm_.allocFrame(), perms);
+            return base;
+        }
+        for (Vpn v = first; v < lo; ++v)
+            p.pt.map(v, pm_.allocFrame(), perms);
+        Vpn v = lo;
+        for (; v + 512 <= end; v += 512)
+            p.pt.mapLarge(v, pm_.allocContiguous(512), perms);
+        for (; v < end; ++v)
+            p.pt.map(v, pm_.allocFrame(), perms);
         return base;
     }
 
@@ -269,6 +314,7 @@ class Vm
     std::uint64_t page_shootdowns_ = 0;
     std::vector<VmOp> op_log_;
     bool recording_ = false;
+    PagePolicy policy_ = PagePolicy::k4k;
 };
 
 /**

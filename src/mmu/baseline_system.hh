@@ -68,15 +68,25 @@ class BaselineMmuSystem final : public GpuMemInterface
             tlbs_.push_back(std::make_unique<Tlb>(
                 TlbParams{cfg.percu_tlb_entries, cfg.percu_tlb_assoc,
                           cfg.percu_tlb_infinite, cfg.track_lifetimes,
-                          cfg.translation_memo}));
+                          cfg.translation_memo, cfg.tlb_max_reach,
+                          cfg.tlb_merge_on_insert,
+                          cfg.percu_tlb_fill_policy}));
+            if (cfg.victima_stash) {
+                tlbs_.back()->setEvictHook(
+                    [this](Asid asid, Vpn vpn, Ppn ppn, Perms perms) {
+                        stashInsert(asid, vpn, ppn, perms);
+                    });
+            }
         }
         vm.addPageShootdownListener([this](Asid asid, Vpn vpn) {
             for (auto &tlb : tlbs_)
                 tlb->invalidatePage(asid, vpn, ctx_.now());
+            stashInvalidatePage(asid, vpn);
         });
         vm.addFullShootdownListener([this](Asid asid) {
             for (auto &tlb : tlbs_)
                 tlb->invalidateAsid(asid, ctx_.now());
+            stashInvalidateAsid(asid);
         });
     }
 
@@ -114,6 +124,7 @@ class BaselineMmuSystem final : public GpuMemInterface
     PhysCaches &caches() { return caches_; }
     const PhysCaches &caches() const { return caches_; }
     const TlbMissBreakdown &breakdown() const { return breakdown_; }
+    const SocConfig &config() const { return cfg_; }
 
     /** Aggregate per-CU TLB accesses across CUs. */
     std::uint64_t
@@ -142,6 +153,50 @@ class BaselineMmuSystem final : public GpuMemInterface
         return acc ? double(tlbMisses()) / double(acc) : 0.0;
     }
 
+    /** Aggregate per-CU reach-entry (reach > 0) hits across CUs. */
+    std::uint64_t
+    tlbReachHits() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &t : tlbs_)
+            n += t->reachHits();
+        return n;
+    }
+
+    /** Aggregate per-CU reach-entry fills across CUs. */
+    std::uint64_t
+    tlbReachFills() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &t : tlbs_)
+            n += t->reachFills();
+        return n;
+    }
+
+    /** Aggregate per-CU buddy merges across CUs. */
+    std::uint64_t
+    tlbMerges() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &t : tlbs_)
+            n += t->merges();
+        return n;
+    }
+
+    /** Aggregate per-CU predicted-dead fill bypasses across CUs. */
+    std::uint64_t
+    tlbFillBypasses() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &t : tlbs_)
+            n += t->fillBypasses();
+        return n;
+    }
+
+    std::uint64_t victimaStashes() const { return victima_stashes_.value; }
+    std::uint64_t victimaProbes() const { return victima_probes_.value; }
+    std::uint64_t victimaHits() const { return victima_hits_.value; }
+
     /**
      * Kernel boundary (§4).  A shootdown invalidates the translation
      * path end to end (per-CU TLBs, IOMMU TLB, page-walk cache) but the
@@ -153,11 +208,15 @@ class BaselineMmuSystem final : public GpuMemInterface
     applyBoundary(const BoundaryPolicy &p)
     {
         caches_.boundaryFlush(p.flush_l1, p.flush_l2);
+        if (p.flush_l2)
+            stash_.clear(); // The array already dropped the lines.
         if (p.shootdown_tlbs) {
             for (auto &tlb : tlbs_)
                 tlb->invalidateAll(ctx_.now());
             iommu_.invalidateAll();
             iommu_.ptw().pwc().invalidateAll();
+            // The stash is translation state and dies with the TLBs.
+            dropStash();
         }
     }
 
@@ -174,6 +233,46 @@ class BaselineMmuSystem final : public GpuMemInterface
 
         if (cfg_.classify_tlb_misses)
             classify(cu_id, asid, line_va);
+
+        // Victima-style stash probe: before paying the PCIe hop to the
+        // IOMMU, check whether an earlier capacity eviction parked this
+        // translation in the L2 data array.  The side map makes the
+        // probe precise — only addresses we actually stashed reach the
+        // array — so baseline configurations (victima_stash off) never
+        // touch the L2 here.
+        if (cfg_.victima_stash) {
+            const auto it = stash_.find(stashAddr(asid, vpn));
+            if (it != stash_.end()) {
+                ++victima_probes_;
+                const Paddr addr = it->first;
+                if (caches_.l2().access(0, addr, false, ctx_.now())) {
+                    // Hit: re-promote the translation into the TLB and
+                    // consume the stash copy.  Cost is one L2 round
+                    // trip instead of the full IOMMU translation.
+                    ++victima_hits_;
+                    const StashEntry e = it->second;
+                    stash_.erase(it);
+                    caches_.l2().invalidateLine(0, addr);
+                    const Tick lat = 2 * cfg_.cu_to_l2 + cfg_.l2_latency;
+                    ctx_.eq.scheduleIn(
+                        lat, [this, cu_id, asid, vpn, e, line_va, is_store,
+                              done = std::move(done)]() mutable {
+                            tlbs_[cu_id]->insert(
+                                asid, vpn,
+                                TlbLookup{e.ppn, e.perms, false},
+                                ctx_.now());
+                            proceed(cu_id, e.ppn, line_va, is_store,
+                                    std::move(done));
+                        });
+                    return;
+                }
+                // The stash line was silently displaced by an ordinary
+                // data fill; drop the stale side entry and walk.  (Such
+                // misses are rare; their probe latency is folded into
+                // the much longer IOMMU path below.)
+                stash_.erase(it);
+            }
+        }
 
         if (merge_tlb_misses_) {
             const std::uint64_t key =
@@ -258,8 +357,75 @@ class BaselineMmuSystem final : public GpuMemInterface
         if (resp.fault)
             fatal("BaselineMmuSystem: unhandled GPU page fault");
         tlbs_[cu_id]->insert(asid, vpn,
-                             TlbLookup{resp.ppn, resp.perms, resp.large},
+                             TlbLookup{resp.ppn, resp.perms, resp.large,
+                                       resp.reach, resp.base_vpn,
+                                       resp.base_ppn},
                              ctx_.now());
+    }
+
+    // --- Victima-style L2 translation stash ---
+    //
+    // Evicted per-CU TLB translations are parked in the L2 data array
+    // under synthetic line addresses (bit 63 marks stash lines, which
+    // cannot collide with real physical lines below phys_mem_bytes).
+    // The side map mirrors array residency so misses stay cheap; the
+    // array itself provides the capacity pressure — ordinary data fills
+    // displace stash lines silently, exactly as in Victima.
+
+    static Paddr
+    stashAddr(Asid asid, Vpn vpn)
+    {
+        return (std::uint64_t{1} << 63) | (std::uint64_t(asid) << 44) |
+               (vpn << kLineShift);
+    }
+
+    void
+    stashInsert(Asid asid, Vpn vpn, Ppn ppn, Perms perms)
+    {
+        ++victima_stashes_;
+        const Paddr addr = stashAddr(asid, vpn);
+        stash_[addr] = StashEntry{ppn, perms};
+        const auto victim =
+            caches_.l2().insert(0, addr, kPermRead, false, ctx_.now());
+        if (!victim)
+            return;
+        if (victim->line_addr >> 63)
+            stash_.erase(victim->line_addr);
+        else if (victim->dirty)
+            caches_.directory().writeback(DirNode::kGpu,
+                                          victim->line_addr);
+    }
+
+    void
+    stashInvalidatePage(Asid asid, Vpn vpn)
+    {
+        if (stash_.empty())
+            return;
+        const Paddr addr = stashAddr(asid, vpn);
+        if (stash_.erase(addr))
+            caches_.l2().invalidateLine(0, addr);
+    }
+
+    void
+    stashInvalidateAsid(Asid asid)
+    {
+        for (auto it = stash_.begin(); it != stash_.end();) {
+            if (Asid((it->first >> 44) & 0xffff) == asid) {
+                caches_.l2().invalidateLine(0, it->first);
+                it = stash_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    /** TLB-path shootdown of the stash (kernel boundary). */
+    void
+    dropStash()
+    {
+        for (const auto &kv : stash_)
+            caches_.l2().invalidateLine(0, kv.first);
+        stash_.clear();
     }
 
     void
@@ -295,6 +461,13 @@ class BaselineMmuSystem final : public GpuMemInterface
         Callback done;
     };
 
+    /** Payload of a stashed translation, keyed by stash line address. */
+    struct StashEntry
+    {
+        Ppn ppn;
+        Perms perms;
+    };
+
     SimContext &ctx_;
     SocConfig cfg_;
     Vm &vm_;
@@ -305,6 +478,11 @@ class BaselineMmuSystem final : public GpuMemInterface
     std::vector<std::unique_ptr<Tlb>> tlbs_;
     std::unordered_map<std::uint64_t, std::vector<Waiter>> pending_;
     TlbMissBreakdown breakdown_;
+    /// Victima side map: stash line address -> stashed translation.
+    std::unordered_map<Paddr, StashEntry> stash_;
+    Counter victima_stashes_;
+    Counter victima_probes_;
+    Counter victima_hits_;
 };
 
 } // namespace gvc

@@ -31,6 +31,10 @@ enum class MmuDesign {
     kVcOpt,            ///< Full VC + FBT as second-level TLB.
     kL1Vc32,           ///< L1-only VC, 32-entry per-CU TLBs (Fig. 11).
     kL1Vc128,          ///< L1-only VC, 128-entry per-CU TLBs (Fig. 11).
+    // --- Reach-generalized extensions beyond Table 2 ---
+    kBase2MB,          ///< Baseline 512 + 2 MB pages, reach-9 TLBs.
+    kBaseCoalesced,    ///< Baseline 512 + coalesced fills, buddy merge.
+    kBaseVictima,      ///< Baseline 512 + Victima-style L2 stashing.
 };
 
 /** Human-readable design name (matches the paper's labels). */
@@ -46,6 +50,9 @@ designName(MmuDesign d)
       case MmuDesign::kVcOpt: return "VC With OPT";
       case MmuDesign::kL1Vc32: return "L1-Only VC (32)";
       case MmuDesign::kL1Vc128: return "L1-Only VC (128)";
+      case MmuDesign::kBase2MB: return "Base 2MB";
+      case MmuDesign::kBaseCoalesced: return "Base Coalesced";
+      case MmuDesign::kBaseVictima: return "Base Victima";
     }
     return "?";
 }
@@ -58,7 +65,8 @@ designFromName(const std::string &name, MmuDesign &out)
          {MmuDesign::kIdeal, MmuDesign::kBaseline512,
           MmuDesign::kBaseline16K, MmuDesign::kBaselineLargeTlb,
           MmuDesign::kVcNoOpt, MmuDesign::kVcOpt, MmuDesign::kL1Vc32,
-          MmuDesign::kL1Vc128}) {
+          MmuDesign::kL1Vc128, MmuDesign::kBase2MB,
+          MmuDesign::kBaseCoalesced, MmuDesign::kBaseVictima}) {
         if (name == designName(d)) {
             out = d;
             return true;
@@ -105,6 +113,33 @@ configFor(MmuDesign d, SocConfig cfg = {})
         cfg.percu_tlb_entries = 128;
         cfg.iommu.tlb_entries = 16 * 1024;
         break;
+      case MmuDesign::kBase2MB:
+        // Baseline 512 sizes; the OS backs 2 MB-aligned interiors of
+        // anonymous regions with 2 MB pages and the TLBs hold them at
+        // full reach, so one entry spans up to 512 pages.
+        cfg.percu_tlb_entries = 32;
+        cfg.iommu.tlb_entries = 512;
+        cfg.vm_page_policy = unsigned(Vm::PagePolicy::k2mInterior);
+        cfg.tlb_max_reach = kMaxReachLog2;
+        break;
+      case MmuDesign::kBaseCoalesced:
+        // Baseline 512 sizes and plain 4 KB pages; reach comes from
+        // fill-time contiguity coalescing (up to one PTE line, free)
+        // plus insertion-time buddy merging in the TLBs.
+        cfg.percu_tlb_entries = 32;
+        cfg.iommu.tlb_entries = 512;
+        cfg.tlb_max_reach = kMaxReachLog2;
+        cfg.tlb_merge_on_insert = true;
+        cfg.coalesce_max_reach = 3;
+        break;
+      case MmuDesign::kBaseVictima:
+        // Baseline 512 sizes; per-CU TLB capacity evictions stash
+        // their translation in the L2 data array and misses probe the
+        // stash before paying the PCIe hop to the IOMMU.
+        cfg.percu_tlb_entries = 32;
+        cfg.iommu.tlb_entries = 512;
+        cfg.victima_stash = true;
+        break;
     }
     return cfg;
 }
@@ -119,7 +154,10 @@ designTable()
            "Baseline 512      | 32-entry   | 512-entry        | 1 Access/Cycle\n"
            "Baseline 16K      | 32-entry   | 16K-entry        | 1 Access/Cycle\n"
            "VC W/O OPT        | -          | 512-entry        | 1 Access/Cycle\n"
-           "VC With OPT       | -          | +16K-entry FBT   | 1 Access/Cycle\n";
+           "VC With OPT       | -          | +16K-entry FBT   | 1 Access/Cycle\n"
+           "Base 2MB          | 32, reach  | 512-entry, reach | 1 Access/Cycle\n"
+           "Base Coalesced    | 32, reach  | 512-entry, reach | 1 Access/Cycle\n"
+           "Base Victima      | 32 + L2 stash | 512-entry     | 1 Access/Cycle\n";
 }
 
 /** Owns whichever concrete system a design maps to. */
@@ -137,6 +175,9 @@ class SystemUnderTest
           case MmuDesign::kBaseline512:
           case MmuDesign::kBaseline16K:
           case MmuDesign::kBaselineLargeTlb:
+          case MmuDesign::kBase2MB:
+          case MmuDesign::kBaseCoalesced:
+          case MmuDesign::kBaseVictima:
             baseline_ = std::make_unique<BaselineMmuSystem>(ctx, cfg, vm,
                                                             dram);
             break;
@@ -269,6 +310,35 @@ class SystemUnderTest
             reg.addScalar("directory.probes", [b] {
                 return double(b->caches().directory().probesSent());
             });
+            // Reach/stash scalars appear only when the feature is on,
+            // keeping classic designs' stat dumps byte-identical.
+            if (b->config().tlb_max_reach > 0) {
+                reg.addScalar("percu_tlb.reach_hits", [b] {
+                    return double(b->tlbReachHits());
+                });
+                reg.addScalar("percu_tlb.reach_fills", [b] {
+                    return double(b->tlbReachFills());
+                });
+                reg.addScalar("percu_tlb.merges", [b] {
+                    return double(b->tlbMerges());
+                });
+            }
+            if (b->config().percu_tlb_fill_policy != kTlbFillLru) {
+                reg.addScalar("percu_tlb.fill_bypasses", [b] {
+                    return double(b->tlbFillBypasses());
+                });
+            }
+            if (b->config().victima_stash) {
+                reg.addScalar("victima.stashes", [b] {
+                    return double(b->victimaStashes());
+                });
+                reg.addScalar("victima.probes", [b] {
+                    return double(b->victimaProbes());
+                });
+                reg.addScalar("victima.hits", [b] {
+                    return double(b->victimaHits());
+                });
+            }
         }
         if (VirtualCacheSystem *v = vc_.get()) {
             reg.addScalar("fbt.bt_lookups", [v] {

@@ -110,7 +110,9 @@ class L1OnlyVcSystem final : public GpuMemInterface
             tlbs_.push_back(std::make_unique<Tlb>(
                 TlbParams{cfg.percu_tlb_entries, cfg.percu_tlb_assoc,
                           cfg.percu_tlb_infinite, cfg.track_lifetimes,
-                          cfg.translation_memo}));
+                          cfg.translation_memo, cfg.tlb_max_reach,
+                          cfg.tlb_merge_on_insert,
+                          cfg.percu_tlb_fill_policy}));
         }
         vm.addPageShootdownListener([this](Asid asid, Vpn vpn) {
             for (unsigned cu = 0; cu < l1s_.size(); ++cu) {
@@ -249,7 +251,9 @@ class L1OnlyVcSystem final : public GpuMemInterface
                                 tlbs_[cu_id]->insert(
                                     asid, vpn,
                                     TlbLookup{resp.ppn, resp.perms,
-                                              resp.large},
+                                              resp.large, resp.reach,
+                                              resp.base_vpn,
+                                              resp.base_ppn},
                                     ctx_.now());
                                 translated(cu_id, asid, line_va,
                                            is_store, resp.ppn,

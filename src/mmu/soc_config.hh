@@ -52,6 +52,36 @@ struct SocConfig
     unsigned percu_tlb_entries = 32; ///< Fully associative (Table 1).
     unsigned percu_tlb_assoc = 0;    ///< 0 = fully associative.
     bool percu_tlb_infinite = false;
+    /**
+     * Per-CU TLB fill policy (kTlbFillLru / kTlbFillBypassDead).
+     * Sweepable independently of the design: the bypass predictor
+     * attacks the dead-on-arrival population the TlbRefHist exposes.
+     */
+    unsigned percu_tlb_fill_policy = kTlbFillLru;
+    /**
+     * Max TLB entry reach, log2 pages (both per-CU and shared IOMMU
+     * TLBs); 0 keeps the classic one-page entries, 9 admits full 2 MB
+     * entries.  See tlb/tlb.hh.
+     */
+    unsigned tlb_max_reach = 0;
+    /** Buddy-merge contiguous TLB entries at insertion time. */
+    bool tlb_merge_on_insert = false;
+    /**
+     * IOMMU fill-time subregion-contiguity coalescing depth (log2
+     * pages, capped by tlb_max_reach); 0 disables.  3 = one PTE line.
+     */
+    unsigned coalesce_max_reach = 0;
+    /**
+     * Victima-style stashing: per-CU-TLB capacity evictions park their
+     * translation in the L2 data array, and a per-CU TLB miss probes
+     * the stash before paying the PCIe hop to the IOMMU.
+     */
+    bool victima_stash = false;
+    /**
+     * Anonymous-mapping page policy (Vm::PagePolicy): 0 maps every
+     * page at 4 KB, 1 backs 2 MB-aligned interiors with 2 MB pages.
+     */
+    unsigned vm_page_policy = 0;
     IommuParams iommu;
     FbtParams fbt;
     /** Use the FBT as a second-level TLB ("VC With OPT"). */
@@ -88,12 +118,15 @@ struct SocConfig
      */
     bool translation_memo = true;
 
-    /** The nested IommuParams with the memo flag applied. */
+    /** The nested IommuParams with the memo and reach knobs applied. */
     IommuParams
     iommuParams() const
     {
         IommuParams p = iommu;
         p.tlb_memo = translation_memo;
+        p.tlb_max_reach = tlb_max_reach;
+        p.tlb_merge_on_insert = tlb_merge_on_insert;
+        p.coalesce_max_reach = coalesce_max_reach;
         return p;
     }
 };

@@ -58,6 +58,29 @@ inline constexpr std::uint64_t kLineMask = kLineSize - 1;
 inline constexpr unsigned kLinesPerPage =
     unsigned(kPageSize / kLineSize);
 
+/**
+ * Translation reach, expressed as log2 of the number of contiguous
+ * 4 KB pages one translation entry spans.  Reach 0 is the classic
+ * one-page entry; reach 9 covers a full 2 MB page (kLargePageShift -
+ * kPageShift); intermediate values arise from subregion-contiguity
+ * coalescing and buddy merging.
+ */
+inline constexpr unsigned kMaxReachLog2 = kLargePageShift - kPageShift;
+
+/** Number of 4 KB pages spanned by a reach-@p r entry. */
+constexpr std::uint64_t
+reachPages(unsigned r)
+{
+    return std::uint64_t{1} << r;
+}
+
+/** Align @p vpn down to the base of its reach-@p r block. */
+constexpr Vpn
+reachBase(Vpn vpn, unsigned r)
+{
+    return vpn & ~(reachPages(r) - 1);
+}
+
 /** Extract the virtual page number of a virtual address. */
 constexpr Vpn
 pageOf(Vaddr va)

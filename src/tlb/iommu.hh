@@ -63,6 +63,20 @@ struct IommuParams
 
     /** Sampling window for access-rate stats: 1 µs at 700 MHz. */
     Tick sample_window = 700;
+
+    /** Max shared-TLB entry reach (log2 pages); 0 = classic 4 KB. */
+    unsigned tlb_max_reach = 0;
+    /** Buddy-merge contiguous shared-TLB entries at insertion time. */
+    bool tlb_merge_on_insert = false;
+    /**
+     * At walk completion, probe the page table for an aligned block of
+     * up to 2^coalesce_max_reach contiguously-mapped same-perm pages
+     * around the walked VPN and fill one multi-page entry covering it.
+     * The default ceiling of 3 matches one 64 B PTE line (8 PTEs): the
+     * walker already fetched every PTE needed for the probe, so the
+     * coalesced fill costs no extra memory traffic.  0 disables.
+     */
+    unsigned coalesce_max_reach = 0;
 };
 
 /** Response delivered to the requester. */
@@ -72,6 +86,10 @@ struct IommuResponse
     Ppn ppn = kInvalidPpn;
     Perms perms = kPermNone;
     bool large = false;
+    /** Reach of the filling entry (see TlbLookup); 0 = one page. */
+    std::uint8_t reach = 0;
+    Vpn base_vpn = kInvalidVpn;
+    Ppn base_ppn = kInvalidPpn;
 };
 
 /**
@@ -90,9 +108,11 @@ class Iommu
     using FaultFixFn = std::function<bool(Asid, Vpn)>;
 
     Iommu(SimContext &ctx, Vm &vm, Dram &dram, const IommuParams &params)
-        : ctx_(ctx), params_(params),
+        : ctx_(ctx), vm_(vm), params_(params),
           tlb_(TlbParams{params.tlb_entries, params.tlb_assoc,
-                         params.tlb_infinite, false, params.tlb_memo}),
+                         params.tlb_infinite, false, params.tlb_memo,
+                         params.tlb_max_reach,
+                         params.tlb_merge_on_insert}),
           ptw_(ctx, vm, dram, params.ptw),
           sampler_(params.sample_window),
           port_fp_per_access_(params.unlimited_bw
@@ -169,6 +189,8 @@ class Iommu
     std::uint64_t secondLevelLookups() const { return sl_lookups_.value; }
     std::uint64_t walks() const { return walks_.value; }
     std::uint64_t faults() const { return faults_.value; }
+    /** Walk completions filled as one multi-page coalesced entry. */
+    std::uint64_t coalescedFills() const { return coalesced_fills_.value; }
 
     /** Total cycles requests spent waiting for the shared TLB port. */
     std::uint64_t
@@ -195,7 +217,9 @@ class Iommu
     afterTlbLookup(Asid asid, Vpn vpn, DoneFn done)
     {
         if (auto hit = tlb_.lookup(asid, vpn, ctx_.now())) {
-            done(IommuResponse{false, hit->ppn, hit->perms, hit->large});
+            done(IommuResponse{false, hit->ppn, hit->perms, hit->large,
+                               hit->reach, hit->base_vpn,
+                               hit->base_ppn});
             return;
         }
         GVC_DPRINTF(kIommu, ctx_.now(),
@@ -258,12 +282,74 @@ class Iommu
             done(IommuResponse{true, kInvalidPpn, kPermNone, false});
             return;
         }
-        const TlbLookup fill{t->ppn, t->perms, t->large};
+        const TlbLookup fill = fillFor(asid, vpn, *t);
         tlb_.insert(asid, vpn, fill, ctx_.now());
-        done(IommuResponse{false, t->ppn, t->perms, t->large});
+        done(IommuResponse{false, t->ppn, t->perms, t->large,
+                           fill.reach, fill.base_vpn, fill.base_ppn});
+    }
+
+    /**
+     * Shape the shared-TLB fill for a completed walk: a 2 MB leaf
+     * becomes one reach-9 entry when the TLB admits it, and small-page
+     * leaves are widened by probing the page table for an aligned
+     * contiguously-mapped block (subregion-contiguity coalescing).
+     * With both reach knobs at 0 this reduces to the classic one-page
+     * fill.
+     */
+    TlbLookup
+    fillFor(Asid asid, Vpn vpn, const Translation &t)
+    {
+        if (t.large) {
+            if (params_.tlb_max_reach >= kMaxReachLog2) {
+                const Ppn base_ppn = t.ppn - (vpn - t.base_vpn);
+                return TlbLookup{t.ppn, t.perms, true,
+                                 std::uint8_t(kMaxReachLog2),
+                                 t.base_vpn, base_ppn};
+            }
+            return TlbLookup{t.ppn, t.perms, true};
+        }
+        const unsigned max = params_.coalesce_max_reach <
+                                     params_.tlb_max_reach
+                                 ? params_.coalesce_max_reach
+                                 : params_.tlb_max_reach;
+        if (max == 0)
+            return TlbLookup{t.ppn, t.perms, false};
+        const PageTable &pt = vm_.pageTable(asid);
+        unsigned reach = 0;
+        Vpn base = vpn;
+        Ppn base_ppn = t.ppn;
+        for (unsigned cand = 1; cand <= max; ++cand) {
+            const Vpn cbase = reachBase(vpn, cand);
+            Ppn cppn = kInvalidPpn;
+            bool ok = true;
+            for (std::uint64_t i = 0; i < reachPages(cand); ++i) {
+                const auto pte = pt.translate(cbase + i);
+                if (!pte || pte->large || pte->perms != t.perms) {
+                    ok = false;
+                    break;
+                }
+                if (i == 0)
+                    cppn = pte->ppn;
+                else if (pte->ppn != cppn + i) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (!ok)
+                break;
+            reach = cand;
+            base = cbase;
+            base_ppn = cppn;
+        }
+        if (reach == 0)
+            return TlbLookup{t.ppn, t.perms, false};
+        ++coalesced_fills_;
+        return TlbLookup{t.ppn, t.perms, false, std::uint8_t(reach),
+                         base, base_ppn};
     }
 
     SimContext &ctx_;
+    Vm &vm_;
     IommuParams params_;
     Tlb tlb_;
     PageTableWalker ptw_;
@@ -282,6 +368,7 @@ class Iommu
     Counter faults_;
     Counter serialization_delay_;
     Counter bank_conflicts_;
+    Counter coalesced_fills_;
 };
 
 } // namespace gvc

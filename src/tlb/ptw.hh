@@ -66,6 +66,8 @@ class PageTableWalker
 
     std::uint64_t requests() const { return requests_.value; }
     std::uint64_t completed() const { return completed_.value; }
+    /** Walks that ended at a 2 MB leaf (3-level paths). */
+    std::uint64_t largeWalks() const { return large_walks_.value; }
     unsigned active() const { return active_; }
 
     /** Mean cycles from walk() to completion (includes queueing). */
@@ -159,6 +161,8 @@ class PageTableWalker
     finish(WalkState *state)
     {
         ++completed_;
+        if (state->path.result && state->path.result->large)
+            ++large_walks_;
         latency_sum_ += ctx_.now() - state->req.issued;
         --active_;
         DoneFn done = std::move(state->req.done);
@@ -184,6 +188,7 @@ class PageTableWalker
     unsigned active_ = 0;
     Counter requests_;
     Counter completed_;
+    Counter large_walks_;
     Counter latency_sum_;
 };
 

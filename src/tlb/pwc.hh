@@ -4,6 +4,16 @@
  * lets the walker skip memory accesses for recently-used upper levels
  * (Table 1: 8 KB).  Modeled as a set-associative cache of 64 B page-table
  * lines, which captures the strong spatial locality of PTE accesses.
+ *
+ * The PWC is inherently a *reach* structure: each cached line holds
+ * kPtesPerLine (8) adjacent PTEs, so one entry at the PT level covers a
+ * naturally-aligned 8-page (32 KB) subregion — which is exactly why the
+ * IOMMU's coalesced-fill probe defaults to reach 3 (2^3 pages = one PTE
+ * line): the walker has already paid for every PTE the probe inspects.
+ * Entries are keyed by PTE line address, making them (base, reach)
+ * descriptors over the page-table address space; invalidation is
+ * whole-cache on page-table modification, which is trivially
+ * reach-precise.
  */
 
 #ifndef GVC_TLB_PWC_HH
@@ -22,6 +32,9 @@ namespace gvc
 class PageWalkCache
 {
   public:
+    /** PTEs per cached line: one line spans 8 adjacent translations. */
+    static constexpr unsigned kPtesPerLine = 8;
+
     /**
      * @param capacity_bytes  Total capacity (paper: 8 KB).
      * @param assoc           Set associativity.
@@ -95,8 +108,8 @@ class PageWalkCache
     }
 
   private:
-    /** Page-table line granularity (8 PTEs of 8 bytes). */
-    static constexpr std::uint64_t kPtLineBytes = 64;
+    /** Page-table line granularity (kPtesPerLine PTEs of 8 bytes). */
+    static constexpr std::uint64_t kPtLineBytes = kPtesPerLine * 8;
 
     struct Entry
     {

@@ -3,6 +3,16 @@
  * Set-associative TLB with true-LRU replacement, ASID tags, optional
  * infinite capacity (for the paper's "infinite" per-CU TLB experiments),
  * and entry-lifetime recording (Figure 12).
+ *
+ * Entries carry an explicit *reach* (log2 of the contiguous 4 KB pages
+ * they span, see sim/types.hh): reach 0 is the classic one-page entry,
+ * reach 9 a full 2 MB page, and intermediate reaches arise from
+ * subregion-contiguity coalescing at fill time and buddy merging at
+ * insertion time.  A reach-r entry is tagged by its aligned base VPN and
+ * indexed by (base >> r) % sets, so each reach class has its own index
+ * function; lookups probe the classes currently present (cheap: a
+ * per-class entry count gates each probe).  With only reach-0 entries
+ * the TLB is cycle- and stat-identical to the classic design.
  */
 
 #ifndef GVC_TLB_TLB_HH
@@ -16,12 +26,27 @@
 #include <vector>
 
 #include "mem/page_table.hh"
+#include "sim/callback.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace gvc
 {
+
+/** TLB fill policies (TlbParams::fill_policy). */
+enum : unsigned {
+    /** Install every fill, evicting true-LRU (classic). */
+    kTlbFillLru = 0,
+    /**
+     * Bypass fills a static next-line predictor flags as dead on
+     * arrival: a fill whose VPN extends the previous fill's VPN by one
+     * is part of a sequential stream and is predicted never to be
+     * re-referenced before eviction ("Dead on Arrival").  Bypassed
+     * translations are simply not cached; a later access re-translates.
+     */
+    kTlbFillBypassDead = 1,
+};
 
 /** Configuration for a Tlb instance. */
 struct TlbParams
@@ -40,6 +65,24 @@ struct TlbParams
      * recency update) is identical with the memo on or off.
      */
     bool memo = true;
+    /**
+     * Maximum entry reach (log2 pages, clamped to kMaxReachLog2).
+     * 0 keeps the classic one-entry-per-4KB-page TLB; 9 admits full
+     * 2 MB-page entries.  Fills wider than this degrade to reach 0.
+     * Ignored in infinite mode (capacity is free there, so reach only
+     * matters for real arrays).
+     */
+    unsigned max_reach = 0;
+    /**
+     * Buddy-merge at insertion time: when a fill's naturally-aligned
+     * buddy block is resident with the same ASID/perms and physically
+     * contiguous frames, replace both entries by one of twice the
+     * reach, repeating up the reach ladder ("Enabling Large-Reach TLBs
+     * by Exploiting Memory Subregion Contiguity").
+     */
+    bool merge_on_insert = false;
+    /** Fill policy: kTlbFillLru or kTlbFillBypassDead. */
+    unsigned fill_policy = kTlbFillLru;
 };
 
 /** Outcome of a TLB lookup. */
@@ -48,6 +91,15 @@ struct TlbLookup
     Ppn ppn = kInvalidPpn;
     Perms perms = kPermNone;
     bool large = false;
+    /**
+     * Reach of the entry that produced (or should receive) this
+     * translation.  reach > 0 makes base_vpn/base_ppn meaningful: they
+     * name the aligned block so a downstream TLB can install the same
+     * multi-page entry instead of a one-page slice.
+     */
+    std::uint8_t reach = 0;
+    Vpn base_vpn = kInvalidVpn;
+    Ppn base_ppn = kInvalidPpn;
 };
 
 /**
@@ -114,16 +166,29 @@ struct TlbRefHist
 };
 
 /**
- * A TLB caching 4 KB-granularity translations.  Large-page translations
- * are cached per 4 KB region they cover (a common simplification which
- * only affects capacity pressure, not correctness).
+ * A TLB over variable-reach translations.  Without reach (max_reach 0)
+ * large-page translations are cached per 4 KB region they cover (a
+ * common simplification which only affects capacity pressure, not
+ * correctness); with reach enabled a 2 MB mapping occupies one reach-9
+ * entry.
  */
 class Tlb
 {
   public:
+    /**
+     * Called when a capacity eviction retires a reach-0 entry, with
+     * (asid, vpn, ppn, perms) of the dying translation.  This is the
+     * Victima hook: the owning system may stash the translation in the
+     * L2 data array.  Shootdown/flush invalidations never fire it —
+     * those translations die for a reason.
+     */
+    using EvictHookFn = SmallFunc<void(Asid, Vpn, Ppn, Perms)>;
+
     explicit Tlb(const TlbParams &params)
         : params_(params)
     {
+        if (params_.max_reach > kMaxReachLog2)
+            params_.max_reach = kMaxReachLog2;
         if (params_.infinite)
             return;
         if (params_.entries == 0)
@@ -168,38 +233,40 @@ class Tlb
             }
             return it->second.xlate;
         }
-        auto &set = sets_[setIndex(vpn)];
         if (memo_way_ != kNoMemo && memo_asid_ == asid &&
             memo_vpn_ == vpn) {
             // Position-validated: the memo only short-circuits the scan
-            // when the remembered slot still holds this exact key, so a
-            // reshuffled set silently falls back to the full scan.
-            if (memo_set_ == setIndex(vpn) && memo_way_ < set.size()) {
+            // when the remembered slot still holds an entry covering
+            // this exact key, so a reshuffled set silently falls back
+            // to the full scan.
+            auto &set = sets_[memo_set_];
+            if (memo_way_ < set.size()) {
                 auto &e = set[memo_way_];
-                if (e.asid == asid && e.vpn == vpn) {
-                    ++hits_;
-                    e.last_used = now;
-                    e.lru = ++lru_clock_;
-                    ++e.refs;
-                    return TlbLookup{e.ppn, e.perms, e.large};
+                if (e.asid == asid &&
+                    e.vpn == reachBase(vpn, e.reach) &&
+                    memo_set_ == setIndex(e.vpn, e.reach)) {
+                    return hitEntry(e, vpn, now);
                 }
             }
             memo_way_ = kNoMemo;
         }
-        for (std::size_t i = 0; i < set.size(); ++i) {
-            auto &e = set[i];
-            if (e.asid == asid && e.vpn == vpn) {
-                ++hits_;
-                e.last_used = now;
-                e.lru = ++lru_clock_;
-                ++e.refs;
-                if (params_.memo) {
-                    memo_set_ = setIndex(vpn);
-                    memo_way_ = i;
-                    memo_asid_ = asid;
-                    memo_vpn_ = vpn;
+        for (unsigned r = 0; r <= kMaxReachLog2; ++r) {
+            if (!class_count_[r])
+                continue;
+            const Vpn base = reachBase(vpn, r);
+            const std::size_t si = setIndex(base, r);
+            auto &set = sets_[si];
+            for (std::size_t i = 0; i < set.size(); ++i) {
+                auto &e = set[i];
+                if (e.reach == r && e.asid == asid && e.vpn == base) {
+                    if (params_.memo) {
+                        memo_set_ = si;
+                        memo_way_ = i;
+                        memo_asid_ = asid;
+                        memo_vpn_ = vpn;
+                    }
+                    return hitEntry(e, vpn, now);
                 }
-                return TlbLookup{e.ppn, e.perms, e.large};
             }
         }
         ++misses_;
@@ -220,10 +287,15 @@ class Tlb
     {
         if (params_.infinite)
             return inf_.count(key(asid, vpn)) != 0;
-        const auto &set = sets_[setIndex(vpn)];
-        for (const auto &e : set)
-            if (e.asid == asid && e.vpn == vpn)
-                return true;
+        for (unsigned r = 0; r <= kMaxReachLog2; ++r) {
+            if (!class_count_[r])
+                continue;
+            const Vpn base = reachBase(vpn, r);
+            const auto &set = sets_[setIndex(base, r)];
+            for (const auto &e : set)
+                if (e.reach == r && e.asid == asid && e.vpn == base)
+                    return true;
+        }
         return false;
     }
 
@@ -231,36 +303,48 @@ class Tlb
     void
     insert(Asid asid, Vpn vpn, const TlbLookup &xlate, Tick now)
     {
-        ++fills_;
-        if (params_.infinite) {
-            inf_.emplace(key(asid, vpn), InfEntry{xlate, 0});
-            return;
-        }
-        auto &set = sets_[setIndex(vpn)];
-        for (auto &e : set) {
-            if (e.asid == asid && e.vpn == vpn) {
-                e.ppn = xlate.ppn;
-                e.perms = xlate.perms;
-                e.large = xlate.large;
-                e.lru = ++lru_clock_;
+        if (params_.fill_policy == kTlbFillBypassDead &&
+            !params_.infinite && xlate.reach == 0) {
+            const bool seq = asid == pred_asid_ && vpn == pred_vpn_ + 1;
+            pred_asid_ = asid;
+            pred_vpn_ = vpn;
+            if (seq) {
+                ++fill_bypasses_;
                 return;
             }
         }
-        if (set.size() < assoc_) {
-            set.push_back(Entry{asid, vpn, xlate.ppn, xlate.perms,
-                                xlate.large, now, now, ++lru_clock_, 0});
+        ++fills_;
+        if (params_.infinite) {
+            // Capacity is free: cache per requested page, reach ignored.
+            inf_.emplace(key(asid, vpn),
+                         InfEntry{TlbLookup{xlate.ppn, xlate.perms,
+                                            xlate.large},
+                                  0});
             return;
         }
-        std::size_t victim = 0;
-        for (std::size_t i = 1; i < set.size(); ++i)
-            if (set[i].lru < set[victim].lru)
-                victim = i;
-        retire(set[victim], now);
-        set[victim] = Entry{asid, vpn, xlate.ppn, xlate.perms,
-                            xlate.large, now, now, ++lru_clock_, 0};
+        unsigned r = xlate.reach;
+        Vpn base = xlate.base_vpn;
+        Ppn base_ppn = xlate.base_ppn;
+        if (r == 0 || r > params_.max_reach) {
+            r = 0;
+            base = vpn;
+            base_ppn = xlate.ppn;
+        }
+        if (r > 0)
+            ++reach_fills_;
+        installEntry(asid, base, base_ppn, xlate.perms, xlate.large, r,
+                     now);
+        if (params_.merge_on_insert)
+            tryMerge(asid, base, r, now);
     }
 
-    /** Invalidate one page's entry if present. @return true if evicted. */
+    /**
+     * Invalidate every entry covering (asid, vpn).  A reach-r entry is
+     * dropped whole: precise single-page shootdown inside a multi-page
+     * entry costs the whole entry (the surviving pages re-fill, and a
+     * split page table re-coalesces what is still contiguous).
+     * @return true if anything was evicted.
+     */
     bool
     invalidatePage(Asid asid, Vpn vpn, Tick now = 0)
     {
@@ -274,15 +358,23 @@ class Tlb
             inf_.erase(it);
             return true;
         }
-        auto &set = sets_[setIndex(vpn)];
-        for (std::size_t i = 0; i < set.size(); ++i) {
-            if (set[i].asid == asid && set[i].vpn == vpn) {
-                retire(set[i], now);
-                set.erase(set.begin() + long(i));
-                return true;
+        bool any = false;
+        for (unsigned r = 0; r <= kMaxReachLog2; ++r) {
+            if (!class_count_[r])
+                continue;
+            const Vpn base = reachBase(vpn, r);
+            auto &set = sets_[setIndex(base, r)];
+            for (std::size_t i = 0; i < set.size(); ++i) {
+                if (set[i].reach == r && set[i].asid == asid &&
+                    set[i].vpn == base) {
+                    retire(set[i], now);
+                    set.erase(set.begin() + long(i));
+                    any = true;
+                    break;
+                }
             }
         }
-        return false;
+        return any;
     }
 
     /** Invalidate every entry of one address space. */
@@ -326,10 +418,25 @@ class Tlb
         }
     }
 
+    /** Install the capacity-eviction hook (Victima stashing). */
+    void
+    setEvictHook(EvictHookFn fn)
+    {
+        evict_hook_ = std::move(fn);
+    }
+
     std::uint64_t accesses() const { return accesses_.value; }
     std::uint64_t hits() const { return hits_.value; }
     std::uint64_t misses() const { return misses_.value; }
     std::uint64_t fills() const { return fills_.value; }
+    /** Hits served by reach > 0 entries. */
+    std::uint64_t reachHits() const { return reach_hits_.value; }
+    /** Fills installed with reach > 0. */
+    std::uint64_t reachFills() const { return reach_fills_.value; }
+    /** Buddy merges performed at insertion time. */
+    std::uint64_t merges() const { return merges_.value; }
+    /** Fills bypassed by the dead-on-arrival predictor. */
+    std::uint64_t fillBypasses() const { return fill_bypasses_.value; }
 
     double
     missRatio() const
@@ -370,15 +477,16 @@ class Tlb
     struct Entry
     {
         Asid asid;
-        Vpn vpn;
-        Ppn ppn;
+        Vpn vpn; ///< Base VPN, aligned to the entry's reach.
+        Ppn ppn; ///< Frame of the base page; +i maps base + i.
         Perms perms;
         bool large;
+        std::uint8_t reach; ///< log2 pages spanned.
         Tick inserted;
         Tick last_used;
         std::uint64_t lru;
         /// Hits after insertion this residency (value-initialized: the
-        /// aggregate-init sites below list only the first 8 members).
+        /// aggregate-init sites below list only the first 9 members).
         std::uint32_t refs;
     };
 
@@ -395,7 +503,122 @@ class Tlb
         return (std::uint64_t(asid) << 48) | vpn;
     }
 
-    std::size_t setIndex(Vpn vpn) const { return vpn % num_sets_; }
+    /** Set of a reach-r entry based at @p base (aligned). */
+    std::size_t
+    setIndex(Vpn base, unsigned r) const
+    {
+        return (base >> r) % num_sets_;
+    }
+
+    TlbLookup
+    hitEntry(Entry &e, Vpn vpn, Tick now)
+    {
+        ++hits_;
+        if (e.reach > 0)
+            ++reach_hits_;
+        e.last_used = now;
+        e.lru = ++lru_clock_;
+        ++e.refs;
+        return TlbLookup{e.ppn + (vpn - e.vpn), e.perms, e.large,
+                         e.reach, e.vpn, e.ppn};
+    }
+
+    void
+    installEntry(Asid asid, Vpn base, Ppn ppn, Perms perms, bool large,
+                 unsigned r, Tick now)
+    {
+        auto &set = sets_[setIndex(base, r)];
+        for (auto &e : set) {
+            if (e.reach == r && e.asid == asid && e.vpn == base) {
+                e.ppn = ppn;
+                e.perms = perms;
+                e.large = large;
+                e.lru = ++lru_clock_;
+                return;
+            }
+        }
+        if (set.size() < assoc_) {
+            set.push_back(Entry{asid, base, ppn, perms, large,
+                                std::uint8_t(r), now, now, ++lru_clock_,
+                                0});
+            ++class_count_[r];
+            return;
+        }
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < set.size(); ++i)
+            if (set[i].lru < set[victim].lru)
+                victim = i;
+        const Entry dying = set[victim];
+        retire(dying, now);
+        set[victim] = Entry{asid, base, ppn, perms, large,
+                            std::uint8_t(r), now, now, ++lru_clock_, 0};
+        ++class_count_[r];
+        if (evict_hook_ && dying.reach == 0)
+            evict_hook_(dying.asid, dying.vpn, dying.ppn, dying.perms);
+    }
+
+    /** Find-and-copy a specific (asid, base, reach) entry. */
+    std::optional<Entry>
+    findEntry(Asid asid, Vpn base, unsigned r) const
+    {
+        const auto &set = sets_[setIndex(base, r)];
+        for (const auto &e : set)
+            if (e.reach == r && e.asid == asid && e.vpn == base)
+                return e;
+        return std::nullopt;
+    }
+
+    /** Remove a specific entry (merge bookkeeping, not a shootdown). */
+    void
+    removeEntry(Asid asid, Vpn base, unsigned r, Tick now)
+    {
+        auto &set = sets_[setIndex(base, r)];
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            if (set[i].reach == r && set[i].asid == asid &&
+                set[i].vpn == base) {
+                retire(set[i], now);
+                set.erase(set.begin() + long(i));
+                return;
+            }
+        }
+    }
+
+    /**
+     * Buddy-merge ladder: starting from the entry at (asid, base,
+     * reach r), merge with its aligned buddy while the buddy is
+     * resident, permission-identical, and the combined frames are
+     * physically contiguous.
+     */
+    void
+    tryMerge(Asid asid, Vpn base, unsigned r, Tick now)
+    {
+        while (r < params_.max_reach) {
+            const auto self = findEntry(asid, base, r);
+            if (!self)
+                return;
+            const Vpn buddy_base = base ^ reachPages(r);
+            const auto buddy = findEntry(asid, buddy_base, r);
+            if (!buddy || buddy->perms != self->perms ||
+                buddy->large != self->large)
+                return;
+            const Entry &lo = base < buddy_base ? *self : *buddy;
+            const Entry &hi = base < buddy_base ? *buddy : *self;
+            if (lo.ppn + reachPages(r) != hi.ppn)
+                return;
+            const Vpn merged_base = lo.vpn;
+            const Ppn merged_ppn = lo.ppn;
+            const Perms perms = lo.perms;
+            const bool large = lo.large;
+            removeEntry(asid, base, r, now);
+            removeEntry(asid, buddy_base, r, now);
+            ++merges_;
+            installEntry(asid, merged_base, merged_ppn, perms, large,
+                         r + 1, now);
+            clearMemo();
+            base = merged_base;
+            ++r;
+        }
+    }
 
     void
     retire(const Entry &e, Tick now)
@@ -403,6 +626,7 @@ class Tlb
         if (params_.track_lifetimes && now > e.inserted)
             lifetimes_.record(now - e.inserted);
         ref_hist_.record(e.refs);
+        --class_count_[e.reach];
     }
 
     TlbParams params_;
@@ -411,6 +635,8 @@ class Tlb
     std::vector<std::vector<Entry>> sets_;
     std::unordered_map<std::uint64_t, InfEntry> inf_;
     std::uint64_t lru_clock_ = 0;
+    /** Live entries per reach class; gates the per-class lookup probes. */
+    std::array<std::uint32_t, kMaxReachLog2 + 1> class_count_{};
 
     static constexpr std::size_t kNoMemo = std::size_t(-1);
     std::size_t memo_set_ = 0;
@@ -419,11 +645,21 @@ class Tlb
     Asid memo_asid_ = 0;
     Vpn memo_vpn_ = 0;
 
+    /** Next-line dead-on-arrival predictor state (fill bypass). */
+    Asid pred_asid_ = 0;
+    Vpn pred_vpn_ = kInvalidVpn;
+
+    EvictHookFn evict_hook_;
+
     Counter accesses_;
     Counter hits_;
     Counter misses_;
     Counter fills_;
     Counter shootdowns_;
+    Counter reach_hits_;
+    Counter reach_fills_;
+    Counter merges_;
+    Counter fill_bypasses_;
     LifetimeRecorder lifetimes_;
     TlbRefHist ref_hist_;
     bool refs_flushed_ = false;

@@ -275,14 +275,32 @@ serializeBody(const Trace &t)
         }
     }
 
-    // Boundary section, present only in version-2 bodies.  A trace
-    // without boundaries serializes as version 1 and must stay
-    // byte-identical to pre-scenario writers.
-    if (!t.boundaries.empty()) {
+    // Boundary section, present in version-2+ bodies.  A trace
+    // without boundaries or flags serializes as version 1 and must
+    // stay byte-identical to pre-scenario writers; a version-3 body
+    // always carries the boundary count so the flags section that
+    // follows is unambiguous.
+    const bool flagged = t.hasVmOpFlags();
+    if (!t.boundaries.empty() || flagged) {
         putVarint(out, t.boundaries.size());
         for (const TraceBoundary &b : t.boundaries) {
             putVarint(out, b.kernel);
             out.push_back(b.policy);
+        }
+    }
+
+    // Vm-op flags section (contiguity metadata), version-3 bodies only.
+    if (flagged) {
+        std::uint64_t count = 0;
+        for (const VmOp &op : t.vm_ops)
+            if (op.flags)
+                ++count;
+        putVarint(out, count);
+        for (std::size_t i = 0; i < t.vm_ops.size(); ++i) {
+            if (t.vm_ops[i].flags) {
+                putVarint(out, i);
+                out.push_back(t.vm_ops[i].flags);
+            }
         }
     }
     return out;
@@ -391,6 +409,35 @@ parseBody(Cursor &c, Trace &t, std::uint32_t version)
         }
     }
 
+    if (version >= kTraceVersionContig) {
+        const std::uint64_t n_flags = c.varint();
+        if (!c.ok())
+            return false;
+        std::uint64_t prev = 0;
+        bool first = true;
+        for (std::uint64_t fi = 0; fi < n_flags; ++fi) {
+            const std::uint64_t idx = c.varint();
+            const std::uint8_t flags = c.u8();
+            if (!c.ok())
+                return false;
+            if (idx >= t.vm_ops.size()) {
+                c.fail("vm-op flag index out of range");
+                return false;
+            }
+            if (!first && idx <= prev) {
+                c.fail("vm-op flag indices not strictly increasing");
+                return false;
+            }
+            if (flags == 0 || (flags & ~kVmOpFlagContig)) {
+                c.fail("invalid vm-op flags byte");
+                return false;
+            }
+            t.vm_ops[std::size_t(idx)].flags = flags;
+            prev = idx;
+            first = false;
+        }
+    }
+
     if (c.remaining() != 0) {
         c.fail("trailing bytes after trace body");
         return false;
@@ -459,11 +506,11 @@ TraceReader::parse(const std::uint8_t *data, std::size_t size, Trace &out,
     }
     Cursor c(data + 4, size - 4);
     const std::uint32_t version = c.u32Fixed();
-    if (version != kTraceVersion && version != kTraceVersionScenario) {
+    if (version < kTraceVersion || version > kTraceVersionContig) {
         setErr(err, "unsupported trace version " +
                         std::to_string(version) + " (expected " +
-                        std::to_string(kTraceVersion) + " or " +
-                        std::to_string(kTraceVersionScenario) + ")");
+                        std::to_string(kTraceVersion) + ".." +
+                        std::to_string(kTraceVersionContig) + ")");
         return false;
     }
     const std::uint64_t digest = c.u64Fixed();

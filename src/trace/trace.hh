@@ -51,6 +51,17 @@
  * always serializes as version 1, so every pre-scenario trace file is
  * byte-identical to what older writers produced.
  *
+ * Version 3 appends a vm-op flags section (contiguity metadata, only
+ * written when some op carries flags; a version-3 body always includes
+ * the boundary section, with a zero count when boundary-free):
+ *
+ *     flagged-op count     varint
+ *       per entry:         varint vm-op index, u8 flags (nonzero)
+ *
+ * Indices must be strictly increasing and in range; the flags byte
+ * must be a known kVmOpFlag* combination.  Flag-free traces keep
+ * serializing as version 1 or 2 byte-identically.
+ *
  * Lane addresses are overwhelmingly small positive strides off the
  * previous lane, so zigzag delta coding shrinks the dominant payload
  * from 8 bytes to 1-2 bytes per lane.
@@ -75,6 +86,9 @@ inline constexpr std::uint32_t kTraceVersion = 1;
 
 /** Format version carrying the kernel-boundary section. */
 inline constexpr std::uint32_t kTraceVersionScenario = 2;
+
+/** Format version carrying the vm-op flags (contiguity) section. */
+inline constexpr std::uint32_t kTraceVersionContig = 3;
 
 /** File magic ("GVCT"). */
 inline constexpr char kTraceMagic[4] = {'G', 'V', 'C', 'T'};
@@ -126,10 +140,22 @@ struct Trace
         return n;
     }
 
+    /** True when some vm op carries contiguity flags. */
+    bool
+    hasVmOpFlags() const
+    {
+        for (const VmOp &op : vm_ops)
+            if (op.flags)
+                return true;
+        return false;
+    }
+
     /** On-disk format version this trace serializes as. */
     std::uint32_t
     formatVersion() const
     {
+        if (hasVmOpFlags())
+            return kTraceVersionContig;
         return boundaries.empty() ? kTraceVersion : kTraceVersionScenario;
     }
 };

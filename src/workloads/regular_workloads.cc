@@ -28,7 +28,9 @@ class KmeansWorkload final : public Workload
     setup(Vm &vm, Asid asid) override
     {
         asid_ = asid;
-        n_ = scaled(128 * 1024, 4096);
+        // Floor at four pages of 4-byte elements so a scaled-down run
+        // still exercises multiple translation units.
+        n_ = scaled(128 * 1024, 4 * (kPageSize / sizeof(std::uint32_t)));
         // AoS point layout: each point's kDims features are contiguous,
         // so a warp's sweep stays within a page or two.
         features_ = allocArray(vm, asid, n_ * kDims);
@@ -406,7 +408,9 @@ class PathfinderWorkload final : public Workload
     setup(Vm &vm, Asid asid) override
     {
         asid_ = asid;
-        cols_ = scaled(256 * 1024, 4096);
+        // Same four-page floor as kmeans: keep a scaled-down wall wide
+        // enough to cross translation units per row.
+        cols_ = scaled(256 * 1024, 4 * (kPageSize / sizeof(std::uint32_t)));
         wall_ = allocArray(vm, asid, cols_ * kRows);
         result_ = allocArray(vm, asid, cols_);
     }

@@ -4,7 +4,8 @@
 # same grid.  Mirrors the CI sharded-sweep step so the property is
 # checked by `ctest` locally too.
 
-set(args --workloads hotspot,backprop --designs ideal,baseline512,vc_opt
+set(args --workloads hotspot,backprop
+         --designs ideal,baseline512,vc_opt,base2mb
          --scale 0.05 --jobs 2 --percu-tlb 64 --quiet --no-table)
 
 function(run_checked)

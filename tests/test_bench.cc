@@ -33,9 +33,9 @@ smallOptions()
 TEST(Bench, MatrixShape)
 {
     const auto matrix = benchMatrix();
-    // 3 modes x 3 workloads x 3 designs, plus 2 tenant cells and the
-    // sweep config.
-    EXPECT_EQ(matrix.size(), 30u);
+    // 3 modes x 3 workloads x 3 designs, plus 2 tenant cells, the
+    // sweep config, and 3 cold cells for the reach-generalized designs.
+    EXPECT_EQ(matrix.size(), 33u);
     unsigned sweeps = 0, tenants = 0;
     for (const auto &cfg : matrix) {
         EXPECT_FALSE(cfg.name().empty());

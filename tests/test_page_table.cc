@@ -124,6 +124,32 @@ TEST_F(PageTableTest, NodeCountGrowsWithSpread)
     EXPECT_GT(pt_.nodeCount(), before);
 }
 
+TEST_F(PageTableTest, UnmapInsideLargePageSplitsPrecisely)
+{
+    // Unmapping one 4 KB page of a 2 MB leaf demotes it to 512 small
+    // leaves first: only that page dies, the other 511 keep their exact
+    // frames, and the walk now goes the full four levels.
+    pt_.mapLarge(0x600, 3000, kPermRead | kPermWrite);
+    EXPECT_TRUE(pt_.unmap(0x600 + 100));
+    EXPECT_FALSE(pt_.translate(0x600 + 100).has_value());
+    for (Vpn off : {Vpn{0}, Vpn{99}, Vpn{101}, Vpn{511}}) {
+        const auto t = pt_.translate(0x600 + off);
+        ASSERT_TRUE(t.has_value()) << "off " << off;
+        EXPECT_EQ(t->ppn, 3000 + off);
+        EXPECT_FALSE(t->large);
+    }
+    EXPECT_EQ(pt_.walk(0x600).levels, 4u);
+}
+
+TEST_F(PageTableTest, ProtectInsideLargePageSplitsPrecisely)
+{
+    pt_.mapLarge(0x800, 4000, kPermRead | kPermWrite);
+    EXPECT_TRUE(pt_.protect(0x800 + 7, kPermRead));
+    EXPECT_EQ(pt_.translate(0x800 + 7)->perms, kPermRead);
+    EXPECT_EQ(pt_.translate(0x800 + 8)->perms, kPermRead | kPermWrite);
+    EXPECT_EQ(pt_.translate(0x800 + 8)->ppn, 4008u);
+}
+
 TEST(PageTableDeath, MisalignedLargeMapIsFatal)
 {
     PhysMem pm(1 << 26);

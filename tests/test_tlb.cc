@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <vector>
 
 #include "sim/rng.hh"
 #include "tlb/tlb.hh"
@@ -113,6 +114,187 @@ TEST(Tlb, LifetimesRecordedOnEviction)
     tlb.insert(0, 2, xlate(2), 600); // evicts vpn 1 (lifetime 500)
     EXPECT_EQ(tlb.lifetimes().distribution().count(), 1u);
     EXPECT_EQ(tlb.lifetimes().distribution().mean(), 500.0);
+}
+
+/** A reach-r lookup result naming its aligned block explicitly. */
+TlbLookup
+reachXlate(Vpn base_vpn, Ppn base_ppn, unsigned reach,
+           Perms perms = kPermRead | kPermWrite)
+{
+    return TlbLookup{base_ppn, perms, false, std::uint8_t(reach),
+                     base_vpn, base_ppn};
+}
+
+TEST(TlbReach, WideEntryCoversEveryPage)
+{
+    Tlb tlb(TlbParams{32, 0, false, false, true, kMaxReachLog2});
+    // One reach-3 entry: pages [8, 16) -> frames [80, 88).
+    tlb.insert(0, 8, reachXlate(8, 80, 3), 0);
+    for (Vpn v = 8; v < 16; ++v) {
+        const auto hit = tlb.lookup(0, v, 1);
+        ASSERT_TRUE(hit.has_value()) << "vpn " << v;
+        EXPECT_EQ(hit->ppn, 80 + (v - 8));
+        EXPECT_EQ(hit->reach, 3u);
+        EXPECT_EQ(hit->base_vpn, 8u);
+    }
+    EXPECT_FALSE(tlb.lookup(0, 7, 2).has_value());
+    EXPECT_FALSE(tlb.lookup(0, 16, 2).has_value());
+    EXPECT_EQ(tlb.reachFills(), 1u);
+    EXPECT_EQ(tlb.reachHits(), 8u);
+}
+
+TEST(TlbReach, FillDegradesToReachZeroAboveMaxReach)
+{
+    Tlb tlb(TlbParams{32, 0, false, false, true, /*max_reach=*/2});
+    // Reach-4 fill (base vpn 64 -> ppn 640) requested through vpn 70.
+    tlb.insert(0, 70, TlbLookup{646, kPermRead, false, 4, 64, 640}, 0);
+    const auto hit = tlb.lookup(0, 70, 1);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->ppn, 646u); // requested page's own frame
+    EXPECT_EQ(hit->reach, 0u);
+    EXPECT_FALSE(tlb.present(0, 64)); // only the requested page cached
+    EXPECT_EQ(tlb.reachFills(), 0u);
+}
+
+TEST(TlbReach, BuddyMergeClimbsTheLadder)
+{
+    TlbParams p{32, 0, false, false, true, kMaxReachLog2};
+    p.merge_on_insert = true;
+    Tlb tlb(p);
+    // Four adjacent pages with contiguous frames merge 0->1->2.
+    for (Vpn v = 0; v < 4; ++v)
+        tlb.insert(0, v, xlate(100 + v), Tick(v));
+    EXPECT_EQ(tlb.merges(), 3u);
+    const auto hit = tlb.lookup(0, 3, 10);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->ppn, 103u);
+    EXPECT_EQ(hit->reach, 2u);
+    EXPECT_EQ(hit->base_vpn, 0u);
+}
+
+TEST(TlbReach, MergeRequiresPhysicalContiguity)
+{
+    TlbParams p{32, 0, false, false, true, kMaxReachLog2};
+    p.merge_on_insert = true;
+    Tlb tlb(p);
+    tlb.insert(0, 0, xlate(100), 0);
+    tlb.insert(0, 1, xlate(200), 1); // frames not adjacent
+    EXPECT_EQ(tlb.merges(), 0u);
+    EXPECT_EQ(tlb.lookup(0, 0, 2)->reach, 0u);
+    EXPECT_EQ(tlb.lookup(0, 1, 3)->reach, 0u);
+}
+
+TEST(TlbReach, MergeRequiresMatchingPerms)
+{
+    TlbParams p{32, 0, false, false, true, kMaxReachLog2};
+    p.merge_on_insert = true;
+    Tlb tlb(p);
+    tlb.insert(0, 0, xlate(100, kPermRead), 0);
+    tlb.insert(0, 1, xlate(101, kPermRead | kPermWrite), 1);
+    EXPECT_EQ(tlb.merges(), 0u);
+}
+
+TEST(TlbReach, ShootdownInsideWideEntryLeavesNoStaleMapping)
+{
+    Tlb tlb(TlbParams{32, 0, false, false, true, kMaxReachLog2});
+    tlb.insert(0, 16, reachXlate(16, 160, 3), 0);
+    // Invalidate one interior 4 KB page: the whole entry must die —
+    // no page of the block may still translate afterwards.
+    EXPECT_TRUE(tlb.invalidatePage(0, 19));
+    for (Vpn v = 16; v < 24; ++v)
+        EXPECT_FALSE(tlb.present(0, v)) << "stale vpn " << v;
+}
+
+TEST(TlbReach, ReachZeroConfigMatchesClassicCounters)
+{
+    // With max_reach 0 the reach machinery must be invisible: identical
+    // hit/miss/fill trajectories to the classic TLB, no reach counters.
+    Tlb classic(TlbParams{8, 2, false, false});
+    TlbParams p{8, 2, false, false, true, 0};
+    p.merge_on_insert = true; // inert without resident buddies > reach 0
+    Tlb reach0(p);
+    Rng rng(7);
+    for (int i = 0; i < 4000; ++i) {
+        const Vpn vpn = rng.below(64);
+        if (!classic.lookup(1, vpn, Tick(i)).has_value())
+            classic.insert(1, vpn, xlate(vpn + 1000), Tick(i));
+        if (!reach0.lookup(1, vpn, Tick(i)).has_value())
+            reach0.insert(1, vpn, xlate(vpn + 1000), Tick(i));
+    }
+    EXPECT_EQ(reach0.hits(), classic.hits());
+    EXPECT_EQ(reach0.misses(), classic.misses());
+    EXPECT_EQ(reach0.fills(), classic.fills());
+    EXPECT_EQ(reach0.reachHits(), 0u);
+    EXPECT_EQ(reach0.reachFills(), 0u);
+    EXPECT_EQ(reach0.merges(), 0u);
+}
+
+TEST(TlbReach, ReachNeverDecreasesHitRate)
+{
+    // Property: on a physically-contiguous sequential footprint, a
+    // merge-enabled reach TLB hits at least as often as the classic one
+    // of identical geometry (wide entries strictly add coverage).
+    Tlb classic(TlbParams{16, 4, false, false});
+    TlbParams p{16, 4, false, false, true, kMaxReachLog2};
+    p.merge_on_insert = true;
+    Tlb reach(p);
+    Rng rng(11);
+    for (int i = 0; i < 8000; ++i) {
+        // Strided walk over 256 pages mapped 1:1 (vpn v -> ppn v).
+        const Vpn vpn = (Vpn(i) * 3 + rng.below(4)) % 256;
+        if (!classic.lookup(0, vpn, Tick(i)).has_value())
+            classic.insert(0, vpn, xlate(vpn), Tick(i));
+        if (!reach.lookup(0, vpn, Tick(i)).has_value())
+            reach.insert(0, vpn, xlate(vpn), Tick(i));
+    }
+    EXPECT_EQ(reach.accesses(), classic.accesses());
+    EXPECT_GE(reach.hits(), classic.hits());
+}
+
+TEST(TlbFillPolicy, BypassesSequentialStreamAndCountsIt)
+{
+    TlbParams p{32, 0, false, false};
+    p.fill_policy = kTlbFillBypassDead;
+    Tlb tlb(p);
+    // A strictly sequential fill stream: the first fill installs, every
+    // next-line successor is predicted dead on arrival and bypassed.
+    for (Vpn v = 100; v < 108; ++v)
+        tlb.insert(0, v, xlate(v), Tick(v));
+    EXPECT_EQ(tlb.fillBypasses(), 7u);
+    EXPECT_EQ(tlb.fills(), 1u);
+    EXPECT_TRUE(tlb.present(0, 100));
+    EXPECT_FALSE(tlb.present(0, 101));
+    // A non-sequential fill breaks the stream and installs normally.
+    tlb.insert(0, 300, xlate(300), 200);
+    EXPECT_TRUE(tlb.present(0, 300));
+    EXPECT_EQ(tlb.fillBypasses(), 7u);
+}
+
+TEST(TlbEvictHook, FiresOnCapacityEvictionOnly)
+{
+    Tlb tlb(TlbParams{2, 0, false, false});
+    struct Evicted
+    {
+        Asid asid;
+        Vpn vpn;
+        Ppn ppn;
+    };
+    std::vector<Evicted> evicted;
+    tlb.setEvictHook([&](Asid a, Vpn v, Ppn p2, Perms) {
+        evicted.push_back(Evicted{a, v, p2});
+    });
+    tlb.insert(3, 1, xlate(10), 0);
+    tlb.insert(3, 2, xlate(20), 1);
+    EXPECT_TRUE(evicted.empty());
+    tlb.insert(3, 5, xlate(50), 2); // capacity-evicts LRU (vpn 1)
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].asid, 3u);
+    EXPECT_EQ(evicted[0].vpn, 1u);
+    EXPECT_EQ(evicted[0].ppn, 10u);
+    // Shootdowns and ASID flushes must NOT fire the hook.
+    tlb.invalidatePage(3, 2);
+    tlb.invalidateAsid(3);
+    EXPECT_EQ(evicted.size(), 1u);
 }
 
 /** Property sweep over geometries: capacity and LRU order hold. */

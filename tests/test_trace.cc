@@ -162,7 +162,7 @@ TEST(TraceFormat, RejectsBadMagic)
 TEST(TraceFormat, RejectsUnsupportedVersion)
 {
     auto bytes = TraceWriter::serialize(sampleTrace());
-    bytes[4] = std::uint8_t(trace::kTraceVersionScenario + 1);
+    bytes[4] = std::uint8_t(trace::kTraceVersionContig + 1);
     Trace out;
     std::string err;
     EXPECT_FALSE(TraceReader::parse(bytes.data(), bytes.size(), out,
@@ -206,6 +206,37 @@ TEST(TraceFormat, ScenarioRoundTripSerializesAsVersion2)
     }
     EXPECT_EQ(TraceWriter::serialize(parsed), bytes);
     EXPECT_EQ(trace::traceDigest(parsed), trace::traceDigest(t));
+}
+
+TEST(TraceFormat, ContigFlagsRoundTripAsVersion3)
+{
+    Trace t = sampleTrace();
+    t.vm_ops[1].flags = kVmOpFlagContig;
+    const auto bytes = TraceWriter::serialize(t);
+    EXPECT_EQ(bytes[4], trace::kTraceVersionContig);
+
+    Trace parsed;
+    std::string err;
+    ASSERT_TRUE(TraceReader::parse(bytes.data(), bytes.size(), parsed,
+                                   &err))
+        << err;
+    ASSERT_EQ(parsed.vm_ops.size(), t.vm_ops.size());
+    for (std::size_t i = 0; i < t.vm_ops.size(); ++i)
+        EXPECT_EQ(parsed.vm_ops[i].flags, t.vm_ops[i].flags) << i;
+    EXPECT_EQ(TraceWriter::serialize(parsed), bytes);
+    EXPECT_EQ(trace::traceDigest(parsed), trace::traceDigest(t));
+}
+
+TEST(TraceFormat, FlagFreeTraceStaysVersion1ByteIdentical)
+{
+    // A trace without contiguity flags must serialize exactly as it did
+    // before version 3 existed — pre-PR trace files stay canonical.
+    Trace flagged = sampleTrace();
+    const auto v1 = TraceWriter::serialize(flagged);
+    EXPECT_EQ(v1[4], trace::kTraceVersion);
+    flagged.vm_ops[1].flags = kVmOpFlagContig;
+    flagged.vm_ops[1].flags = 0; // cleared again -> back to v1 bytes
+    EXPECT_EQ(TraceWriter::serialize(flagged), v1);
 }
 
 TEST(TraceFormat, RejectsOutOfOrderBoundaries)

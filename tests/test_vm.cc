@@ -131,6 +131,76 @@ TEST_F(VmTest, LargeMappingIsLarge)
     EXPECT_EQ(base % kLargePageSize, 0u);
 }
 
+TEST_F(VmTest, PagePolicy2mInteriorMapsInteriorLarge)
+{
+    vm_.setPagePolicy(Vm::PagePolicy::k2mInterior);
+    const Asid a = vm_.createProcess();
+    // A small leading mapping misaligns the bump allocator so the main
+    // region has true small-page edges around its 2 MB interior.
+    vm_.mmapAnon(a, kPageSize);
+    const Vaddr base = vm_.mmapAnon(a, 3 * kLargePageSize);
+    const Vpn first = pageOf(base);
+    const Vpn end = first + 3 * 512;
+    const Vpn lo = (first + 511) & ~Vpn{511};
+    ASSERT_GT(lo, first); // edge pages exist below the interior
+    // Edge pages are small, interior pages large, all mapped.
+    EXPECT_FALSE(vm_.translate(a, base)->large);
+    for (Vpn v = first; v < end; ++v) {
+        const auto t = vm_.translate(a, Vaddr(v) << kPageShift);
+        ASSERT_TRUE(t.has_value()) << "vpn " << v;
+        const bool interior = v >= lo && v < lo + 512 * 2;
+        EXPECT_EQ(t->large, interior) << "vpn " << v;
+    }
+}
+
+TEST_F(VmTest, PagePolicyDoesNotChangeVirtualLayout)
+{
+    // The VA sequence must be byte-identical across policies: recorded
+    // warp streams replay against either (only granularity differs).
+    PhysMem pm4k{std::uint64_t{1} << 30};
+    Vm vm4k{pm4k};
+    vm_.setPagePolicy(Vm::PagePolicy::k2mInterior);
+    const Asid a2m = vm_.createProcess();
+    const Asid a4k = vm4k.createProcess();
+    for (std::uint64_t bytes :
+         {kPageSize * 3, kLargePageSize * 2, kPageSize * 700}) {
+        EXPECT_EQ(vm_.mmapAnon(a2m, bytes), vm4k.mmapAnon(a4k, bytes));
+    }
+}
+
+TEST_F(VmTest, PagePolicyRecordsContigFlag)
+{
+    vm_.setPagePolicy(Vm::PagePolicy::k2mInterior);
+    vm_.recordOps(true);
+    const Asid a = vm_.createProcess();
+    vm_.mmapAnon(a, 2 * kLargePageSize); // interior exists -> flagged
+    vm_.mmapAnon(a, 2 * kPageSize);      // too small -> unflagged
+    const auto &ops = vm_.recordedOps();
+    ASSERT_EQ(ops.size(), 3u);
+    EXPECT_EQ(ops[1].flags, kVmOpFlagContig);
+    EXPECT_EQ(ops[2].flags, 0);
+}
+
+TEST_F(VmTest, UnmapInsideLargeInteriorIsPrecise)
+{
+    vm_.setPagePolicy(Vm::PagePolicy::k2mInterior);
+    const Asid a = vm_.createProcess();
+    const Vaddr base = vm_.mmapAnon(a, 3 * kLargePageSize);
+    const Vpn lo = (pageOf(base) + 511) & ~Vpn{511};
+    // Unmap one 4 KB page inside the 2 MB interior: the page table
+    // splits, that page dies, its 511 siblings survive.
+    const Vaddr victim = Vaddr(lo + 5) << kPageShift;
+    std::vector<Vpn> shot;
+    vm_.addPageShootdownListener(
+        [&](Asid, Vpn vpn) { shot.push_back(vpn); });
+    vm_.unmap(a, victim, kPageSize);
+    ASSERT_EQ(shot.size(), 1u);
+    EXPECT_EQ(shot[0], lo + 5);
+    EXPECT_FALSE(vm_.translate(a, victim).has_value());
+    EXPECT_TRUE(vm_.translate(a, victim - kPageSize).has_value());
+    EXPECT_TRUE(vm_.translate(a, victim + kPageSize).has_value());
+}
+
 TEST_F(VmTest, ShootdownCounterCounts)
 {
     const Asid a = vm_.createProcess();

@@ -48,7 +48,8 @@ usage(int code)
         "  -w, --workload NAME     workload (see --list)\n"
         "  -d, --design NAME       ideal | baseline-512 | baseline-16k |\n"
         "                          baseline-large-tlb | vc | vc-opt |\n"
-        "                          l1vc-32 | l1vc-128\n"
+        "                          l1vc-32 | l1vc-128 | base-2mb |\n"
+        "                          base-coalesced | base-victima\n"
         "      --scale F           workload scale factor (default 0.5)\n"
         "      --seed N            workload RNG seed\n"
         "      --percu-tlb N       per-CU TLB entries (raw mode)\n"
@@ -57,6 +58,8 @@ usage(int code)
         "      --iommu-banks N     shared TLB banks\n"
         "      --fbt-entries N     FBT entries (raw mode)\n"
         "      --remap-entries N   synonym remap table entries\n"
+        "      --tlb-fill-policy P per-CU TLB fill policy: lru |\n"
+        "                          bypass-dead (predicted-dead bypass)\n"
         "      --cus N             number of compute units\n"
         "      --kernels N         run the workload N times back-to-back\n"
         "                          on one warm memory system (scenario)\n"
@@ -128,6 +131,16 @@ parse(int argc, char **argv)
         } else if (a == "--remap-entries") {
             opt.cfg.soc.synonym_remap_entries =
                 parseUnsigned("--remap-entries", need(i));
+        } else if (a == "--tlb-fill-policy") {
+            const std::string name = need(i);
+            if (name == "lru") {
+                opt.cfg.soc.percu_tlb_fill_policy = kTlbFillLru;
+            } else if (name == "bypass-dead") {
+                opt.cfg.soc.percu_tlb_fill_policy = kTlbFillBypassDead;
+            } else {
+                fatal("--tlb-fill-policy: unknown policy '" + name +
+                      "' (lru | bypass-dead)");
+            }
         } else if (a == "--cus") {
             opt.cfg.soc.gpu.num_cus = parseUnsigned("--cus", need(i));
         } else if (a == "--kernels") {
@@ -258,6 +271,29 @@ main(int argc, char **argv)
                 r.iommu_serialization_mean);
     std::printf("  page walks              : %llu\n",
                 (unsigned long long)r.page_walks);
+    if (r.tlb_reach_fills || r.iommu_reach_fills || r.tlb_merges) {
+        std::printf("  reach entries           : %llu fills / %llu hits "
+                    "(per-CU), %llu merges, %llu coalesced\n",
+                    (unsigned long long)r.tlb_reach_fills,
+                    (unsigned long long)r.tlb_reach_hits,
+                    (unsigned long long)r.tlb_merges,
+                    (unsigned long long)r.iommu_coalesced_fills);
+    }
+    if (r.large_page_walks) {
+        std::printf("  2MB-leaf walks          : %llu\n",
+                    (unsigned long long)r.large_page_walks);
+    }
+    if (r.victima_stashes || r.victima_probes) {
+        std::printf("  victima stash           : %llu stashes, %llu "
+                    "probes, %llu hits\n",
+                    (unsigned long long)r.victima_stashes,
+                    (unsigned long long)r.victima_probes,
+                    (unsigned long long)r.victima_hits);
+    }
+    if (r.tlb_fill_bypasses) {
+        std::printf("  fill bypasses           : %llu\n",
+                    (unsigned long long)r.tlb_fill_bypasses);
+    }
     if (r.fbt_lookups) {
         std::printf("  FBT lookups             : %llu (second-level "
                     "TLB hit %.1f%%)\n",

@@ -75,6 +75,8 @@ usage(int code)
         "      --iommu-tlb N       shared TLB entries (raw mode)\n"
         "      --percu-tlb N       per-CU TLB entries (raw mode)\n"
         "      --fbt-entries N     FBT entries (raw mode)\n"
+        "      --tlb-fill-policy P per-CU TLB fill policy: lru |\n"
+        "                          bypass-dead (predicted-dead bypass)\n"
         "      --cus N             number of compute units\n"
         "      --live              regenerate each workload per cell\n"
         "                          instead of capture-once/replay\n"
@@ -162,6 +164,16 @@ parse(int argc, char **argv)
                 parseUnsigned("--fbt-entries", need(i));
             opt.raw_set.fbt_entries = true;
             opt.base.raw_soc = true;
+        } else if (a == "--tlb-fill-policy") {
+            const std::string name = need(i);
+            if (name == "lru") {
+                opt.base.soc.percu_tlb_fill_policy = kTlbFillLru;
+            } else if (name == "bypass-dead") {
+                opt.base.soc.percu_tlb_fill_policy = kTlbFillBypassDead;
+            } else {
+                fatal("--tlb-fill-policy: unknown policy '" + name +
+                      "' (lru | bypass-dead)");
+            }
         } else if (a == "--cus") {
             opt.base.soc.gpu.num_cus = parseUnsigned("--cus", need(i));
         } else if (a == "--live") {
@@ -189,7 +201,8 @@ parse(int argc, char **argv)
     if (designs_spec == "all") {
         design_names = {"ideal",   "baseline512", "baseline16k",
                         "baseline_large_tlb", "vc", "vc_opt",
-                        "l1vc32",  "l1vc128"};
+                        "l1vc32",  "l1vc128", "base2mb",
+                        "basecoalesced", "basevictima"};
     } else {
         design_names = splitList(designs_spec);
     }
