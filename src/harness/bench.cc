@@ -474,7 +474,13 @@ peakRssKb()
     struct rusage ru = {};
     if (getrusage(RUSAGE_SELF, &ru) != 0)
         return 0;
-    return std::uint64_t(ru.ru_maxrss);
+    std::uint64_t kb = std::uint64_t(ru.ru_maxrss);
+#ifdef __APPLE__
+    // ru_maxrss is bytes on macOS (KB on Linux/BSD); without this the
+    // trajectory's RSS column is off by 1024x between hosts.
+    kb /= 1024;
+#endif
+    return kb;
 }
 
 } // namespace gvc

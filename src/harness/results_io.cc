@@ -697,6 +697,50 @@ runResultToJson(const RunResult &r, const SocConfig *soc)
 }
 
 Json
+resultRecordToJson(const ResultRecord &rec)
+{
+    const SocConfig effective =
+        rec.cfg.raw_soc ? rec.cfg.soc
+                        : configFor(rec.cfg.design, rec.cfg.soc);
+    Json one = runResultToJson(rec.result, &effective);
+    one.set("workload_params", workloadParamsToJson(rec.cfg.workload));
+    return one;
+}
+
+namespace
+{
+
+std::string
+hexU64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Inverse of hexU64(): exactly 16 lowercase hex digits. */
+bool
+parseHexU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.size() != 16)
+        return false;
+    out = 0;
+    for (const char c : s) {
+        out <<= 4;
+        if (c >= '0' && c <= '9')
+            out |= std::uint64_t(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            out |= std::uint64_t(c - 'a' + 10);
+        else
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Json
 resultsToJson(const ExportMeta &meta,
               const std::vector<ResultRecord> &records)
 {
@@ -716,6 +760,12 @@ resultsToJson(const ExportMeta &meta,
         Json shard = Json::object();
         shard.set("index", meta.shard_index);
         shard.set("count", meta.shard_count);
+        // The assignment stamp only appears for non-modulo shard
+        // plans, so classic modulo-sharded exports stay byte-identical.
+        if (!meta.shard_assignment.empty()) {
+            shard.set("assignment", meta.shard_assignment);
+            shard.set("cost_digest", hexU64(meta.shard_cost_digest));
+        }
         grid.set("shard", std::move(shard));
     }
 
@@ -746,15 +796,8 @@ resultsToJson(const ExportMeta &meta,
               "per-kernel stats in one document");
 
     Json results = Json::array();
-    for (const auto &rec : records) {
-        const SocConfig effective =
-            rec.cfg.raw_soc ? rec.cfg.soc
-                            : configFor(rec.cfg.design, rec.cfg.soc);
-        Json one = runResultToJson(rec.result, &effective);
-        one.set("workload_params",
-                workloadParamsToJson(rec.cfg.workload));
-        results.push(std::move(one));
-    }
+    for (const auto &rec : records)
+        results.push(resultRecordToJson(rec));
 
     Json doc = Json::object();
     doc.set("schema_version",
@@ -1239,6 +1282,26 @@ stringList(Importer &imp, const Json &arr, const std::string &ctx,
 } // namespace
 
 bool
+resultRecordFromJson(const Json &j, ResultRecord &rec, std::string *err)
+{
+    Importer imp;
+    rec = ResultRecord{};
+    const auto done = [&](bool ok) {
+        if (!ok && err)
+            *err = imp.err;
+        return ok;
+    };
+    if (!j.isObject())
+        return done(imp.fail("record: expected a JSON object"));
+    // Infer the schema version from the record's own shape: the three
+    // versions differ only in which per-record blocks they carry.
+    const int version = j.find("tenants")   ? kResultsSchemaVersionTenants
+                        : j.find("kernels") ? kResultsSchemaVersionKernels
+                                            : kResultsSchemaVersion;
+    return done(resultRecordFromJson(imp, j, "record", version, rec));
+}
+
+bool
 resultsFromJson(const Json &doc, ExportMeta &meta,
                 std::vector<ResultRecord> &records, std::string *err)
 {
@@ -1301,6 +1364,20 @@ resultsFromJson(const Json &doc, ExportMeta &meta,
                 std::to_string(meta.shard_index) +
                 " out of range for count " +
                 std::to_string(meta.shard_count)));
+        if (shard->find("assignment")) {
+            std::string digest;
+            if (!imp.getString(*shard, "assignment", "grid.shard",
+                               meta.shard_assignment) ||
+                !imp.getString(*shard, "cost_digest", "grid.shard",
+                               digest))
+                return done(false);
+            if (meta.shard_assignment.empty())
+                return done(imp.fail("grid.shard.assignment: expected a "
+                                     "non-empty strategy name"));
+            if (!parseHexU64(digest, meta.shard_cost_digest))
+                return done(imp.fail("grid.shard.cost_digest: expected "
+                                     "16 lowercase hex digits"));
+        }
     }
 
     const Json *results = doc.find("results");
@@ -1402,6 +1479,23 @@ mergeResults(const std::vector<Json> &shards, Json &merged,
                             std::to_string(m.shard_count) +
                             " differs from shard 0's " +
                             std::to_string(meta.shard_count));
+            if (m.shard_assignment != meta.shard_assignment ||
+                m.shard_cost_digest != meta.shard_cost_digest)
+                return fail(who + ": shard assignment '" +
+                            (m.shard_assignment.empty()
+                                 ? "modulo"
+                                 : m.shard_assignment) +
+                            "' differs from shard 0's '" +
+                            (meta.shard_assignment.empty()
+                                 ? "modulo"
+                                 : meta.shard_assignment) +
+                            "' (the shards were planned with different "
+                            "assignment strategies or cost models, so "
+                            "their cell sets need not partition the "
+                            "grid)");
+            // Worker count never affects results; keep the maximum so
+            // the merged document is independent of shard file order.
+            meta.jobs = std::max(meta.jobs, m.jobs);
         }
 
         for (ResultRecord &rec : recs) {
@@ -1453,6 +1547,8 @@ mergeResults(const std::vector<Json> &shards, Json &merged,
 
     meta.shard_index = 0;
     meta.shard_count = 1;
+    meta.shard_assignment.clear();
+    meta.shard_cost_digest = 0;
     std::vector<ResultRecord> ordered;
     ordered.reserve(cells.size());
     for (auto &cell : cells)

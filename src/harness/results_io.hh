@@ -154,14 +154,25 @@ struct ExportMeta
     std::uint64_t seed = 0;
     unsigned jobs = 1;
     /**
-     * Shard position when the grid was partitioned with `--shard I/N`
-     * (cells whose canonical grid index satisfies idx % N == I).  A
-     * shard_count of 1 means an unsharded document; the "shard" JSON
+     * Shard position when the grid was partitioned with `--shard I/N`.
+     * A shard_count of 1 means an unsharded document; the "shard" JSON
      * object is only emitted when shard_count > 1, so unsharded
      * exports are byte-identical to the pre-sharding schema.
      */
     unsigned shard_index = 0;
     unsigned shard_count = 1;
+    /**
+     * How cells were assigned to shards: empty for the classic
+     * idx % N modulo striping (never emitted, so modulo-sharded
+     * exports keep their exact pre-existing form), "lpt" for
+     * cost-balanced longest-processing-time bin packing.  Emitted
+     * inside the "shard" object together with the FNV-1a-64 digest of
+     * the cost-model file that drove the packing (0 = uniform costs),
+     * so gvc_merge can refuse shards planned against different cost
+     * models — such shard sets can silently overlap or leave holes.
+     */
+    std::string shard_assignment;
+    std::uint64_t shard_cost_digest = 0;
     /**
      * Version of the document this meta was imported from (set by
      * resultsFromJson).  Export ignores it: resultsToJson derives the
@@ -181,6 +192,29 @@ Json workloadParamsToJson(const WorkloadParams &p);
  * SocConfig is embedded under "soc".
  */
 Json runResultToJson(const RunResult &r, const SocConfig *soc = nullptr);
+
+/**
+ * Serialize one (config, result) cell exactly as it appears inside a
+ * results document's "results" array: runResultToJson() of the result
+ * with the *effective* SocConfig embedded under "soc", plus the
+ * "workload_params" object.  resultsToJson() emits this per record,
+ * and the sweep checkpoint journal (harness/journal.hh) appends it per
+ * completed cell — one serializer, so the two can never drift.
+ */
+Json resultRecordToJson(const ResultRecord &rec);
+
+/**
+ * Rebuild one ResultRecord from resultRecordToJson() output — the
+ * record-level inverse of the importer behind resultsFromJson(), with
+ * the schema version inferred from the record's shape (tenant block ->
+ * 3, "kernels" array -> 2, plain -> 1).  Field-exact with the same
+ * dotted-path error messages; the imported record carries the
+ * document's effective SocConfig with `raw_soc` set so it re-exports
+ * byte-identically.  Returns false with a message in @p err on any
+ * mismatch.
+ */
+bool resultRecordFromJson(const Json &j, ResultRecord &rec,
+                          std::string *err = nullptr);
 
 /**
  * Full versioned results document.  Stamped schema version 3 when the
@@ -220,9 +254,14 @@ bool resultsFromJson(const Json &doc, ExportMeta &meta,
  * (schema-v1 and schema-v2 shards never merge), every grid label
  * must be resolvable, and each (workload, design) cell must appear
  * exactly once across all shards — duplicates and missing cells are
- * reported by name.  `jobs` is taken from the first shard (worker
- * count does not affect results).  Returns false and stores a message
- * in @p err when the shards are not mergeable.
+ * reported by name.  Shards planned with different assignment
+ * strategies or cost models (the "shard" object's assignment stamp)
+ * are rejected too.  `jobs` is the maximum across the shards: worker
+ * count does not affect results, and the maximum is order-independent,
+ * so the merged document is stable however the shard files are listed
+ * (it used to be silently taken from whichever shard came first).
+ * Returns false and stores a message in @p err when the shards are not
+ * mergeable.
  */
 bool mergeResults(const std::vector<Json> &shards, Json &merged,
                   std::string *err = nullptr);

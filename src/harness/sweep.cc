@@ -195,6 +195,17 @@ Sweep::run()
     if (capture_)
         captureSources();
 
+    // The hook mutex outlives the parallel section below; hook calls
+    // are serialized so implementations (journal appends) need no
+    // locking of their own.
+    std::mutex hook_mutex;
+    auto fire_hook = [&](std::size_t idx, const RunResult &result) {
+        if (!cell_hook_)
+            return;
+        std::lock_guard<std::mutex> lock(hook_mutex);
+        cell_hook_(idx, result);
+    };
+
     // Unique pending keys in first-occurrence (add) order, so the
     // serial path and job submission order are both deterministic.
     std::vector<std::size_t> leaders;
@@ -204,6 +215,7 @@ Sweep::run()
             continue;
         if (auto memo = memo_.find(item.key); memo != memo_.end()) {
             item.result = memo->second;
+            fire_hook(i, *item.result);
             continue;
         }
         bool first = true;
@@ -216,6 +228,12 @@ Sweep::run()
         if (first)
             leaders.push_back(i);
     }
+
+    // A cell limit deterministically truncates this run's work to the
+    // first N unique simulations; later duplicates of an un-run leader
+    // stay pending (the fanout below tolerates the missing memo).
+    if (cell_limit_ && leaders.size() > cell_limit_)
+        leaders.resize(cell_limit_);
 
     if (leaders.empty())
         return;
@@ -265,6 +283,10 @@ Sweep::run()
         for (const std::size_t i : leaders) {
             Item &item = items_[i];
             item.result = run_item(item);
+            // Checkpoint in the worker, before anything else can
+            // observe the result: a kill after this point never loses
+            // a completed simulation.
+            fire_hook(i, *item.result);
             report(item);
         }
     } else {
@@ -273,11 +295,13 @@ Sweep::run()
         futures.reserve(leaders.size());
         for (const std::size_t i : leaders) {
             const Item &item = items_[i];
-            futures.push_back(pool.submit([&item, &report, &run_item] {
-                RunResult r = run_item(item);
-                report(item);
-                return r;
-            }));
+            futures.push_back(
+                pool.submit([&item, i, &report, &run_item, &fire_hook] {
+                    RunResult r = run_item(item);
+                    fire_hook(i, r);
+                    report(item);
+                    return r;
+                }));
         }
         for (std::size_t k = 0; k < leaders.size(); ++k)
             items_[leaders[k]].result = futures[k].get();
@@ -286,11 +310,26 @@ Sweep::run()
     unique_runs_ += leaders.size();
     for (const std::size_t i : leaders)
         memo_.emplace(items_[i].key, *items_[i].result);
-    // Fan the leader results out to every duplicate cell.
-    for (Item &item : items_) {
-        if (!item.result)
-            item.result = memo_.at(item.key);
+    // Fan the leader results out to every duplicate cell.  A missing
+    // memo entry means the cell's leader fell past this run's cell
+    // limit; the cell stays pending for the next run().
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+        Item &item = items_[i];
+        if (item.result)
+            continue;
+        if (const auto memo = memo_.find(item.key); memo != memo_.end()) {
+            item.result = memo->second;
+            fire_hook(i, *item.result);
+        }
     }
+}
+
+void
+Sweep::seedResult(std::size_t idx, RunResult result)
+{
+    panicIfNot(idx < items_.size(),
+               "Sweep::seedResult: index out of range");
+    items_[idx].result = std::move(result);
 }
 
 std::shared_ptr<const trace::Trace>

@@ -36,6 +36,7 @@
 #ifndef GVC_HARNESS_SWEEP_HH
 #define GVC_HARNESS_SWEEP_HH
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -86,6 +87,39 @@ class Sweep
 
     /** Execute all cells that do not have a result yet. */
     void run();
+
+    /**
+     * Observer invoked (under an internal mutex — implementations need
+     * no locking of their own) each time a cell's result becomes
+     * available during run(): when a leader simulation completes, when
+     * a duplicate cell is resolved from its leader, and when a cell is
+     * satisfied from the cross-run memo cache.  This is the checkpoint
+     * hook: gvc_sweep appends each completed cell to its `.gvcj`
+     * journal from here, so a kill loses at most the cell in flight.
+     * Cells satisfied by seedResult() do NOT fire the hook — they were
+     * journaled by the run being resumed.
+     */
+    using CellHook = std::function<void(std::size_t idx,
+                                        const RunResult &result)>;
+    void setCellHook(CellHook hook) { cell_hook_ = std::move(hook); }
+
+    /**
+     * Pre-load cell @p idx with an already-known result (e.g. from a
+     * checkpoint journal).  run() skips seeded cells entirely: no
+     * simulation, no trace capture on their behalf, no hook firing.
+     * Seeded results are deliberately not memoized — seed every
+     * duplicate cell explicitly (duplicates share a runConfigKey, so
+     * key-matched seeding covers them naturally).
+     */
+    void seedResult(std::size_t idx, RunResult result);
+
+    /**
+     * Cap the number of unique simulations a single run() call
+     * executes (0 = unlimited).  With a cap in place run() may leave
+     * cells unresolved — used by tests and `--max-cells` to produce a
+     * deterministically interrupted sweep for resume proofs.
+     */
+    void setCellLimit(std::size_t limit) { cell_limit_ = limit; }
 
     /** Result of cell @p idx (run() must have covered it). */
     const RunResult &result(std::size_t idx) const;
@@ -142,6 +176,8 @@ class Sweep
     std::size_t unique_runs_ = 0;
     bool progress_;
     bool capture_;
+    CellHook cell_hook_;
+    std::size_t cell_limit_ = 0;
 };
 
 } // namespace gvc

@@ -199,5 +199,18 @@ TEST(Bench, RejectsMalformedJson)
     EXPECT_FALSE(benchReportFromJson(doc, out, &err));
 }
 
+TEST(Bench, PeakRssIsInKilobytesOnEveryHost)
+{
+    // ru_maxrss is KB on Linux/BSD but *bytes* on macOS; peakRssKb()
+    // normalizes.  A C++ test process with gtest loaded occupies at
+    // least ~1 MB and (sanity) under 8 GB — a unit mix-up on either
+    // side lands orders of magnitude outside this band (a 10 MB
+    // process would read as 10 GB if bytes leaked through, or 10 KB
+    // if a spurious divide were added on Linux).
+    const std::uint64_t kb = peakRssKb();
+    EXPECT_GE(kb, 1024u);
+    EXPECT_LE(kb, 8u * 1024u * 1024u);
+}
+
 } // namespace
 } // namespace gvc

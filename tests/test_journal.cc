@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Sweep checkpoint journal (`.gvcj`): round trips through the writer
+ * and strict reader, crash-shaped corruption (truncation at every
+ * framing boundary, digest flips, foreign magic/version), and the
+ * grid-identity check that stops `--resume` from continuing a
+ * different sweep — mirroring the `.gvct` reader's error-path tests.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/journal.hh"
+#include "harness/results_io.hh"
+
+using namespace gvc;
+
+namespace
+{
+
+/** Fabricated distinctive cell, in the merge tests' style. */
+ResultRecord
+makeRecord(const std::string &workload, MmuDesign design,
+           std::uint64_t salt)
+{
+    ResultRecord rec;
+    rec.cfg.design = design;
+    rec.cfg.workload.scale = 0.25;
+    rec.cfg.workload.seed = 0x5eed;
+    rec.result.workload = workload;
+    rec.result.design = design;
+    rec.result.exec_ticks = 0xdeadbeef00000000ull + salt;
+    rec.result.instructions = 7919 * salt + 13;
+    rec.result.mem_instructions = 997 * salt + 5;
+    rec.result.tlb_accesses = 401 * salt;
+    rec.result.tlb_misses = 31 * salt;
+    rec.result.iommu_accesses = 211 * salt + 1;
+    rec.result.page_walks = 17 * salt;
+    rec.result.l1_accesses = 1009 * salt + 2;
+    rec.result.l2_accesses = 503 * salt + 3;
+    rec.result.dram_accesses = 251 * salt + 4;
+    rec.result.dram_bytes = 16064 * salt + 256;
+    rec.result.lines_per_mem_inst = 1.25 + 0.001 * double(salt);
+    rec.result.tlb_miss_ratio = 0.0625 * double(salt % 3);
+    rec.result.iommu_apc_mean = 0.5 + 0.01 * double(salt);
+    rec.result.l1_hit_ratio = 0.75;
+    rec.result.l2_hit_ratio = 0.5;
+    rec.result.tlb_breakdown.miss_l1_hit = 3 * salt;
+    rec.result.tlb_breakdown.miss_l2_hit = 2 * salt;
+    rec.result.tlb_breakdown.miss_l2_miss = salt;
+    return rec;
+}
+
+ExportMeta
+testMeta()
+{
+    ExportMeta meta;
+    meta.workloads = {"alpha", "beta"};
+    meta.designs = {"ideal", "vc_opt"};
+    meta.scale = 0.25;
+    meta.seed = 0x5eed;
+    meta.jobs = 3;
+    return meta;
+}
+
+/** A complete in-memory journal image: header plus two records. */
+std::vector<std::uint8_t>
+testImage()
+{
+    std::vector<std::uint8_t> image = journalHeader(testMeta());
+    const auto f1 =
+        journalFrame("cell-a", makeRecord("alpha", MmuDesign::kIdeal, 1));
+    const auto f2 =
+        journalFrame("cell-b", makeRecord("beta", MmuDesign::kVcOpt, 2));
+    image.insert(image.end(), f1.begin(), f1.end());
+    image.insert(image.end(), f2.begin(), f2.end());
+    return image;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------
+
+TEST(Journal, WriterReaderRoundTrip)
+{
+    const std::string path = tempPath("journal_roundtrip.gvcj");
+    const ResultRecord r1 = makeRecord("alpha", MmuDesign::kIdeal, 1);
+    const ResultRecord r2 = makeRecord("beta", MmuDesign::kVcOpt, 2);
+
+    {
+        JournalWriter writer;
+        std::string err;
+        ASSERT_TRUE(writer.create(path, testMeta(), &err)) << err;
+        ASSERT_TRUE(writer.append("cell-a", r1, &err)) << err;
+        ASSERT_TRUE(writer.append("cell-b", r2, &err)) << err;
+    }
+
+    ExportMeta meta;
+    std::vector<JournalEntry> entries;
+    std::string err;
+    ASSERT_TRUE(readJournal(path, meta, entries, &err)) << err;
+
+    EXPECT_EQ(meta.generator, "gvc_sweep");
+    EXPECT_EQ(meta.workloads, (std::vector<std::string>{"alpha", "beta"}));
+    EXPECT_EQ(meta.designs, (std::vector<std::string>{"ideal", "vc_opt"}));
+    EXPECT_DOUBLE_EQ(meta.scale, 0.25);
+    EXPECT_EQ(meta.seed, 0x5eedu);
+    EXPECT_EQ(meta.jobs, 3u);
+    EXPECT_EQ(meta.shard_index, 0u);
+    EXPECT_EQ(meta.shard_count, 1u);
+    EXPECT_TRUE(meta.shard_assignment.empty());
+    EXPECT_EQ(meta.shard_cost_digest, 0u);
+
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].key, "cell-a");
+    EXPECT_EQ(entries[1].key, "cell-b");
+    // Byte-identical record re-serialization covers every field at
+    // once — this is what makes resumed exports byte-identical.
+    EXPECT_EQ(resultRecordToJson(entries[0].record).dump(2),
+              resultRecordToJson(r1).dump(2));
+    EXPECT_EQ(resultRecordToJson(entries[1].record).dump(2),
+              resultRecordToJson(r2).dump(2));
+}
+
+TEST(Journal, OpenAppendContinuesAnExistingJournal)
+{
+    const std::string path = tempPath("journal_append.gvcj");
+    std::string err;
+    {
+        JournalWriter writer;
+        ASSERT_TRUE(writer.create(path, testMeta(), &err)) << err;
+        ASSERT_TRUE(writer.append(
+            "cell-a", makeRecord("alpha", MmuDesign::kIdeal, 1), &err))
+            << err;
+    }
+    {
+        // A resumed invocation reopens the same file and appends.
+        JournalWriter writer;
+        ASSERT_TRUE(writer.openAppend(path, &err)) << err;
+        ASSERT_TRUE(writer.append(
+            "cell-b", makeRecord("beta", MmuDesign::kVcOpt, 2), &err))
+            << err;
+    }
+
+    ExportMeta meta;
+    std::vector<JournalEntry> entries;
+    ASSERT_TRUE(readJournal(path, meta, entries, &err)) << err;
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].key, "cell-a");
+    EXPECT_EQ(entries[1].key, "cell-b");
+}
+
+TEST(Journal, AssignmentStampRoundTrips)
+{
+    ExportMeta meta = testMeta();
+    meta.shard_index = 1;
+    meta.shard_count = 3;
+    meta.shard_assignment = "lpt";
+    meta.shard_cost_digest = 0xabcdef0123456789ull;
+    const std::vector<std::uint8_t> image = journalHeader(meta);
+
+    ExportMeta got;
+    std::vector<JournalEntry> entries;
+    std::string err;
+    ASSERT_TRUE(parseJournal(image.data(), image.size(), got, entries,
+                             &err))
+        << err;
+    EXPECT_EQ(got.shard_index, 1u);
+    EXPECT_EQ(got.shard_count, 3u);
+    EXPECT_EQ(got.shard_assignment, "lpt");
+    EXPECT_EQ(got.shard_cost_digest, 0xabcdef0123456789ull);
+    EXPECT_TRUE(entries.empty());
+}
+
+TEST(Journal, ResultRecordWrapperRejectsGarbage)
+{
+    ResultRecord rec;
+    std::string err;
+    EXPECT_FALSE(resultRecordFromJson(Json(), rec, &err));
+    EXPECT_FALSE(err.empty());
+
+    Json not_a_record = Json::object();
+    not_a_record.set("workload", "alpha");
+    EXPECT_FALSE(resultRecordFromJson(not_a_record, rec, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------------
+// Corruption paths (each must fail with a named error)
+// ---------------------------------------------------------------------
+
+TEST(Journal, TruncationAtEveryFramingBoundaryIsNamed)
+{
+    const std::vector<std::uint8_t> image = testImage();
+    const std::vector<std::uint8_t> header = journalHeader(testMeta());
+    const std::size_t frame1 = header.size();
+
+    ExportMeta meta;
+    std::vector<JournalEntry> entries;
+    std::string err;
+
+    // Mid fixed header (shorter than magic+version+digest+size).
+    EXPECT_FALSE(parseJournal(image.data(), 10, meta, entries, &err));
+    EXPECT_NE(err.find("truncated header"), std::string::npos) << err;
+
+    // Mid meta payload.
+    EXPECT_FALSE(
+        parseJournal(image.data(), header.size() - 1, meta, entries,
+                     &err));
+    EXPECT_NE(err.find("truncated meta payload"), std::string::npos)
+        << err;
+
+    // Mid record frame header (size+digest prefix cut short).
+    EXPECT_FALSE(
+        parseJournal(image.data(), frame1 + 5, meta, entries, &err));
+    EXPECT_NE(err.find("truncated record frame header"),
+              std::string::npos)
+        << err;
+
+    // Mid record payload — the kill-during-write shape `--resume`
+    // must refuse rather than resume from a half-written record.
+    EXPECT_FALSE(
+        parseJournal(image.data(), frame1 + 20, meta, entries, &err));
+    EXPECT_NE(err.find("truncated record payload"), std::string::npos)
+        << err;
+}
+
+TEST(Journal, MetaDigestMismatchIsNamed)
+{
+    std::vector<std::uint8_t> image = testImage();
+    image[20] ^= 0x01; // first byte of the meta JSON payload
+
+    ExportMeta meta;
+    std::vector<JournalEntry> entries;
+    std::string err;
+    EXPECT_FALSE(
+        parseJournal(image.data(), image.size(), meta, entries, &err));
+    EXPECT_NE(err.find("meta digest mismatch"), std::string::npos)
+        << err;
+}
+
+TEST(Journal, RecordDigestMismatchIsNamed)
+{
+    std::vector<std::uint8_t> image = testImage();
+    const std::size_t frame1 = journalHeader(testMeta()).size();
+    image[frame1 + 12] ^= 0x01; // first byte of record 0's payload
+
+    ExportMeta meta;
+    std::vector<JournalEntry> entries;
+    std::string err;
+    EXPECT_FALSE(
+        parseJournal(image.data(), image.size(), meta, entries, &err));
+    EXPECT_NE(err.find("record digest mismatch"), std::string::npos)
+        << err;
+}
+
+TEST(Journal, BadMagicAndVersionAreNamed)
+{
+    ExportMeta meta;
+    std::vector<JournalEntry> entries;
+    std::string err;
+
+    std::vector<std::uint8_t> image = testImage();
+    image[0] = 'X';
+    EXPECT_FALSE(
+        parseJournal(image.data(), image.size(), meta, entries, &err));
+    EXPECT_NE(err.find("bad magic"), std::string::npos) << err;
+
+    image = testImage();
+    image[4] = 0x7f; // version 0x7f
+    EXPECT_FALSE(
+        parseJournal(image.data(), image.size(), meta, entries, &err));
+    EXPECT_NE(err.find("unsupported format version"), std::string::npos)
+        << err;
+}
+
+TEST(Journal, ReadJournalNamesUnopenableFiles)
+{
+    ExportMeta meta;
+    std::vector<JournalEntry> entries;
+    std::string err;
+    EXPECT_FALSE(readJournal(tempPath("no_such_journal.gvcj"), meta,
+                             entries, &err));
+    EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------
+// Grid identity: a journal never resumes a different sweep
+// ---------------------------------------------------------------------
+
+TEST(Journal, GridMismatchesAreNamed)
+{
+    const ExportMeta run = testMeta();
+    std::string err;
+
+    {
+        ExportMeta j = testMeta();
+        j.workloads = {"alpha", "gamma"};
+        EXPECT_FALSE(journalMatchesGrid(j, run, &err));
+        EXPECT_NE(err.find("workload axis"), std::string::npos) << err;
+    }
+    {
+        ExportMeta j = testMeta();
+        j.designs = {"ideal"};
+        EXPECT_FALSE(journalMatchesGrid(j, run, &err));
+        EXPECT_NE(err.find("design axis"), std::string::npos) << err;
+    }
+    {
+        ExportMeta j = testMeta();
+        j.scale = 0.5;
+        EXPECT_FALSE(journalMatchesGrid(j, run, &err));
+        EXPECT_NE(err.find("scale"), std::string::npos) << err;
+    }
+    {
+        ExportMeta j = testMeta();
+        j.seed = 99;
+        EXPECT_FALSE(journalMatchesGrid(j, run, &err));
+        EXPECT_NE(err.find("seed"), std::string::npos) << err;
+    }
+    {
+        ExportMeta j = testMeta();
+        j.shard_index = 1;
+        j.shard_count = 2;
+        EXPECT_FALSE(journalMatchesGrid(j, run, &err));
+        EXPECT_NE(err.find("shard"), std::string::npos) << err;
+    }
+    {
+        ExportMeta j = testMeta();
+        j.shard_assignment = "lpt";
+        EXPECT_FALSE(journalMatchesGrid(j, run, &err));
+        EXPECT_NE(err.find("assignment"), std::string::npos) << err;
+        EXPECT_NE(err.find("modulo"), std::string::npos) << err;
+    }
+    {
+        ExportMeta j = testMeta();
+        ExportMeta r = testMeta();
+        j.shard_assignment = r.shard_assignment = "lpt";
+        j.shard_cost_digest = 1;
+        r.shard_cost_digest = 2;
+        EXPECT_FALSE(journalMatchesGrid(j, r, &err));
+        EXPECT_NE(err.find("cost-model digest"), std::string::npos)
+            << err;
+    }
+}
+
+TEST(Journal, MatchingGridAcceptsAndJobsIsElastic)
+{
+    std::string err;
+    EXPECT_TRUE(journalMatchesGrid(testMeta(), testMeta(), &err)) << err;
+
+    // Worker count does not affect results, so a fleet may resume a
+    // journal with a different --jobs.
+    ExportMeta j = testMeta();
+    ExportMeta r = testMeta();
+    j.jobs = 1;
+    r.jobs = 16;
+    EXPECT_TRUE(journalMatchesGrid(j, r, &err)) << err;
+}

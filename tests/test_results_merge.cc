@@ -514,6 +514,159 @@ TEST(MergeResults, RejectsIncompatibleShards)
     }
 }
 
+TEST(MergeResults, JobsIsMaxAcrossShardsAndOrderIndependent)
+{
+    // Each shard records the worker count of its own invocation; the
+    // merged document must not depend on file order (it used to take
+    // whichever shard came first).
+    auto shardWithJobs = [](unsigned index, unsigned jobs) {
+        ExportMeta meta = testMeta();
+        meta.shard_index = index;
+        meta.shard_count = 2;
+        meta.jobs = jobs;
+        const std::vector<ResultRecord> all = testRecords();
+        std::vector<ResultRecord> mine;
+        for (std::size_t i = 0; i < all.size(); ++i)
+            if (i % 2 == index)
+                mine.push_back(all[i]);
+        return resultsToJson(meta, mine);
+    };
+
+    Json merged;
+    std::string err;
+    ASSERT_TRUE(mergeResults({shardWithJobs(0, 2), shardWithJobs(1, 16)},
+                             merged, &err))
+        << err;
+    EXPECT_EQ(merged.find("grid")->find("jobs")->asU64(), 16u);
+
+    Json flipped;
+    ASSERT_TRUE(mergeResults({shardWithJobs(1, 16), shardWithJobs(0, 2)},
+                             flipped, &err))
+        << err;
+    EXPECT_EQ(flipped.dump(2), merged.dump(2));
+
+    // Equal jobs across shards keeps the historical value unchanged.
+    ASSERT_TRUE(mergeResults({shardWithJobs(0, 3), shardWithJobs(1, 3)},
+                             merged, &err))
+        << err;
+    EXPECT_EQ(merged.dump(2),
+              resultsToJson(testMeta(), testRecords()).dump(2));
+}
+
+// ---------------------------------------------------------------------
+// Cost-balanced sharding: the assignment stamp
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** shardDoc() with an LPT assignment stamp in the shard object. */
+Json
+lptShardDoc(unsigned index, unsigned count, std::uint64_t digest)
+{
+    ExportMeta meta = testMeta();
+    meta.shard_index = index;
+    meta.shard_count = count;
+    meta.shard_assignment = "lpt";
+    meta.shard_cost_digest = digest;
+    const std::vector<ResultRecord> all = testRecords();
+    std::vector<ResultRecord> mine;
+    for (std::size_t i = 0; i < all.size(); ++i)
+        if (i % count == index) // stripe stands in for a real LPT plan
+            mine.push_back(all[i]);
+    return resultsToJson(meta, mine);
+}
+
+} // namespace
+
+TEST(ShardAssignment, StampRoundTripsAndModuloStaysStampFree)
+{
+    const Json doc = lptShardDoc(0, 2, 0xfeedface12345678ull);
+    const Json *shard = doc.find("grid")->find("shard");
+    ASSERT_NE(shard, nullptr);
+    ASSERT_NE(shard->find("assignment"), nullptr);
+    EXPECT_EQ(shard->find("assignment")->asString(), "lpt");
+    EXPECT_EQ(shard->find("cost_digest")->asString(),
+              "feedface12345678");
+
+    ExportMeta meta;
+    std::vector<ResultRecord> records;
+    std::string err;
+    ASSERT_TRUE(resultsFromJson(reparse(doc), meta, records, &err))
+        << err;
+    EXPECT_EQ(meta.shard_assignment, "lpt");
+    EXPECT_EQ(meta.shard_cost_digest, 0xfeedface12345678ull);
+    EXPECT_EQ(resultsToJson(meta, records).dump(2), doc.dump(2));
+
+    // Modulo-sharded exports keep their exact pre-existing shape: no
+    // assignment members at all.
+    const Json modulo = shardDoc(0, 2);
+    const Json *mshard = modulo.find("grid")->find("shard");
+    ASSERT_NE(mshard, nullptr);
+    EXPECT_EQ(mshard->find("assignment"), nullptr);
+    EXPECT_EQ(mshard->find("cost_digest"), nullptr);
+}
+
+TEST(ShardAssignment, MergedLptShardsDropTheStamp)
+{
+    // The merged document covers the full grid, so the planning stamp
+    // is gone along with the shard object — byte-identical to an
+    // unsharded export.
+    Json merged;
+    std::string err;
+    ASSERT_TRUE(mergeResults({lptShardDoc(0, 2, 7), lptShardDoc(1, 2, 7)},
+                             merged, &err))
+        << err;
+    EXPECT_EQ(merged.dump(2),
+              resultsToJson(testMeta(), testRecords()).dump(2));
+}
+
+TEST(ShardAssignment, MergeRejectsMixedAssignmentStrategies)
+{
+    Json merged;
+    std::string err;
+
+    // LPT shard + modulo shard: planned by different strategies, so
+    // coverage cannot be trusted.
+    EXPECT_FALSE(mergeResults({lptShardDoc(0, 2, 7), shardDoc(1, 2)},
+                              merged, &err));
+    EXPECT_NE(err.find("assignment"), std::string::npos) << err;
+    EXPECT_NE(err.find("modulo"), std::string::npos) << err;
+
+    // Same strategy, different cost models: same problem.
+    EXPECT_FALSE(mergeResults({lptShardDoc(0, 2, 7), lptShardDoc(1, 2, 8)},
+                              merged, &err));
+    EXPECT_NE(err.find("assignment"), std::string::npos) << err;
+}
+
+TEST(ShardAssignment, ImportRejectsMalformedStamps)
+{
+    // An empty assignment string is never emitted; reject it.
+    std::string text = lptShardDoc(0, 2, 7).dump(2);
+    const std::string from = "\"assignment\": \"lpt\"";
+    std::size_t pos = text.find(from);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, from.size(), "\"assignment\": \"\"");
+    std::string err;
+    Json doc = Json::parse(text, &err);
+    ASSERT_EQ(err, "");
+    ExportMeta meta;
+    std::vector<ResultRecord> records;
+    EXPECT_FALSE(resultsFromJson(doc, meta, records, &err));
+    EXPECT_NE(err.find("assignment"), std::string::npos) << err;
+
+    // A cost digest that is not 16 lowercase hex digits is corrupt.
+    text = lptShardDoc(0, 2, 7).dump(2);
+    const std::string dig = "\"cost_digest\": \"0000000000000007\"";
+    pos = text.find(dig);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, dig.size(), "\"cost_digest\": \"xyz\"");
+    doc = Json::parse(text, &err);
+    ASSERT_EQ(err, "");
+    EXPECT_FALSE(resultsFromJson(doc, meta, records, &err));
+    EXPECT_NE(err.find("cost_digest"), std::string::npos) << err;
+}
+
 TEST(MergeResults, RejectsEmptyAndBrokenInputs)
 {
     Json merged;

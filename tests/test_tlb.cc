@@ -330,5 +330,99 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(16u, 2u),
                       std::make_tuple(512u, 8u)));
 
+// ---------------------------------------------------------------------
+// tryMerge boundary audit: the reach ladder's top rung and the
+// ASID/perm fusion guards
+// ---------------------------------------------------------------------
+
+TEST(TlbReach, MergeStopsExactlyAtMaxReach)
+{
+    TlbParams p{32, 0, false, false, true, kMaxReachLog2};
+    p.merge_on_insert = true;
+    Tlb tlb(p);
+    // 1024 contiguous pages with contiguous frames: enough raw
+    // material for a reach-10 entry if the ladder overran the cap.
+    // 1024 one-page entries collapsing to two reach-9 entries is
+    // exactly 1022 merges.
+    for (Vpn v = 0; v < 1024; ++v)
+        tlb.insert(0, v, xlate(4096 + v), Tick(v));
+    EXPECT_EQ(tlb.merges(), 1022u);
+
+    // Two reach-9 entries remain.  They are aligned buddies with
+    // physically contiguous frames — the only thing keeping them
+    // apart is the kMaxReachLog2 cap, so a reach above 9 here means
+    // the ladder (and class_count_[] indexing) overran.
+    const auto lo = tlb.lookup(0, 0, 2000);
+    ASSERT_TRUE(lo.has_value());
+    EXPECT_EQ(lo->reach, kMaxReachLog2);
+    EXPECT_EQ(lo->base_vpn, 0u);
+    const auto hi = tlb.lookup(0, 1023, 2001);
+    ASSERT_TRUE(hi.has_value());
+    EXPECT_EQ(hi->reach, kMaxReachLog2);
+    EXPECT_EQ(hi->base_vpn, 512u);
+    EXPECT_EQ(hi->ppn, 4096u + 1023u);
+}
+
+TEST(TlbReach, MaxReachParamIsClampedToTheLadderTop)
+{
+    // A config asking for more reach than the ladder supports must
+    // behave exactly like kMaxReachLog2, not index past the per-class
+    // bookkeeping.
+    TlbParams p{32, 0, false, false, true, /*max_reach=*/99};
+    p.merge_on_insert = true;
+    Tlb tlb(p);
+    for (Vpn v = 0; v < 1024; ++v)
+        tlb.insert(0, v, xlate(4096 + v), Tick(v));
+    EXPECT_EQ(tlb.merges(), 1022u);
+    const auto hit = tlb.lookup(0, 512, 2000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->reach, kMaxReachLog2);
+}
+
+TEST(TlbReach, BuddyMergeNeverFusesDifferentAsids)
+{
+    TlbParams p{32, 0, false, false, true, kMaxReachLog2};
+    p.merge_on_insert = true;
+    Tlb tlb(p);
+    // Buddy pages, contiguous frames — but different address spaces.
+    tlb.insert(1, 0, xlate(100), 0);
+    tlb.insert(2, 1, xlate(101), 1);
+    EXPECT_EQ(tlb.merges(), 0u);
+    EXPECT_EQ(tlb.lookup(1, 0, 2)->reach, 0u);
+    EXPECT_EQ(tlb.lookup(2, 1, 3)->reach, 0u);
+
+    // Completing ASID 1's own buddy pair merges it — and must leave
+    // ASID 2's overlapping-by-VPN entry untouched.
+    tlb.insert(1, 1, xlate(101), 4);
+    EXPECT_EQ(tlb.merges(), 1u);
+    EXPECT_EQ(tlb.lookup(1, 1, 5)->reach, 1u);
+    EXPECT_EQ(tlb.lookup(1, 1, 6)->base_vpn, 0u);
+    EXPECT_EQ(tlb.lookup(2, 1, 7)->reach, 0u);
+    EXPECT_EQ(tlb.lookup(2, 1, 8)->ppn, 101u);
+}
+
+TEST(TlbReach, BuddyMergeNeverFusesDifferentPermsHigherUp)
+{
+    // Permission mismatches must stop the ladder at every rung, not
+    // just rung 0: two resident reach-1 blocks whose frames line up
+    // stay separate when their perms differ.
+    TlbParams p{32, 0, false, false, true, kMaxReachLog2};
+    p.merge_on_insert = true;
+    Tlb tlb(p);
+    tlb.insert(0, 0, xlate(100, kPermRead | kPermWrite), 0);
+    tlb.insert(0, 1, xlate(101, kPermRead | kPermWrite), 1);
+    tlb.insert(0, 2, xlate(102, kPermRead), 2);
+    tlb.insert(0, 3, xlate(103, kPermRead), 3);
+    EXPECT_EQ(tlb.merges(), 2u); // one per buddy pair, nothing above
+    const auto lo = tlb.lookup(0, 0, 10);
+    ASSERT_TRUE(lo.has_value());
+    EXPECT_EQ(lo->reach, 1u);
+    EXPECT_EQ(lo->perms, kPermRead | kPermWrite);
+    const auto hi = tlb.lookup(0, 2, 11);
+    ASSERT_TRUE(hi.has_value());
+    EXPECT_EQ(hi->reach, 1u);
+    EXPECT_EQ(hi->perms, kPermRead);
+}
+
 } // namespace
 } // namespace gvc

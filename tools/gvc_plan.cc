@@ -1,0 +1,271 @@
+/**
+ * @file
+ * gvc_plan — inspect sweep checkpoint journals and preview shard
+ * plans without running any simulation.
+ *
+ *   gvc_plan journal sweep.gvcj
+ *       Validate a `.gvcj` checkpoint journal (magic, version, both
+ *       digest layers, every record payload) and print its grid meta
+ *       plus one line per journaled cell — the same strict reader
+ *       `gvc_sweep --resume` uses, so "gvc_plan journal" succeeding
+ *       means the resume will accept the file.
+ *
+ *   gvc_plan shards -w all -d all --shard-count 3 --cost-model B.json
+ *       Preview the cost-balanced LPT assignment the same flags would
+ *       produce in `gvc_sweep --balance`: per-cell costs and shard
+ *       choices, plus per-shard load totals against the ideal split.
+ *       `--modulo` previews the classic stripe instead, so the two
+ *       strategies' balance can be compared side by side.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hh"
+#include "harness/journal.hh"
+#include "harness/plan.hh"
+#include "harness/table.hh"
+#include "sim/logging.hh"
+
+using namespace gvc;
+
+namespace
+{
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: gvc_plan journal FILE.gvcj\n"
+        "       gvc_plan shards [options]\n"
+        "journal: validate a sweep checkpoint journal and list its\n"
+        "         cells (the same strict reader --resume uses)\n"
+        "shards options:\n"
+        "  -w, --workloads LIST    comma-separated workloads, or\n"
+        "                          'all' / 'high-bw' (default: all)\n"
+        "  -d, --designs LIST      comma-separated designs, or 'all'\n"
+        "                          (default: ideal,baseline512,vc_opt)\n"
+        "      --shard-count N     shards to plan for (default 1)\n"
+        "      --cost-model FILE   gvc_bench report, .gvcj journal, or\n"
+        "                          sweep results JSON (default:\n"
+        "                          uniform costs)\n"
+        "      --modulo            preview idx %% N striping instead\n"
+        "                          of LPT cost balancing\n"
+        "      --help              this text\n");
+    std::exit(code);
+}
+
+std::vector<std::string>
+splitList(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+int
+cmdJournal(int argc, char **argv)
+{
+    if (argc != 1)
+        usage(1);
+    const std::string path = argv[0];
+    ExportMeta meta;
+    std::vector<JournalEntry> entries;
+    std::string err;
+    if (!readJournal(path, meta, entries, &err))
+        fatal(err);
+
+    std::printf("journal: %s\n", path.c_str());
+    std::printf("generator: %s\n", meta.generator.c_str());
+    std::printf("workloads:");
+    for (const auto &w : meta.workloads)
+        std::printf(" %s", w.c_str());
+    std::printf("\ndesigns:");
+    for (const auto &d : meta.designs)
+        std::printf(" %s", d.c_str());
+    std::printf("\nscale: %g  seed: %llu  jobs: %u\n", meta.scale,
+                static_cast<unsigned long long>(meta.seed), meta.jobs);
+    std::printf("shard: %u/%u  assignment: %s\n", meta.shard_index,
+                meta.shard_count,
+                meta.shard_assignment.empty()
+                    ? "modulo"
+                    : meta.shard_assignment.c_str());
+
+    TextTable table({"#", "workload", "design", "exec cycles"});
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const RunResult &r = entries[i].record.result;
+        table.addRow({std::to_string(i), r.workload,
+                      designName(r.design),
+                      std::to_string(r.exec_ticks)});
+    }
+    table.print();
+    std::printf("\n%zu journaled cell%s (journal valid)\n",
+                entries.size(), entries.size() == 1 ? "" : "s");
+    return 0;
+}
+
+int
+cmdShards(int argc, char **argv)
+{
+    std::string workloads_spec = "all";
+    std::string designs_spec = "ideal,baseline512,vc_opt";
+    std::string cost_model_path;
+    unsigned shard_count = 1;
+    bool modulo = false;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(1);
+        return argv[++i];
+    };
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h")
+            usage(0);
+        else if (a == "-w" || a == "--workloads")
+            workloads_spec = need(i);
+        else if (a == "-d" || a == "--designs")
+            designs_spec = need(i);
+        else if (a == "--shard-count")
+            shard_count = parseUnsigned("--shard-count", need(i));
+        else if (a == "--cost-model")
+            cost_model_path = need(i);
+        else if (a == "--modulo")
+            modulo = true;
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage(1);
+        }
+    }
+    if (shard_count == 0)
+        fatal("--shard-count must be positive");
+
+    std::vector<std::string> workloads;
+    if (workloads_spec == "all")
+        workloads = allWorkloadNames();
+    else if (workloads_spec == "high-bw")
+        workloads = highBandwidthWorkloadNames();
+    else
+        workloads = splitList(workloads_spec);
+    if (workloads.empty())
+        fatal("no workloads selected");
+
+    std::vector<std::string> design_names;
+    if (designs_spec == "all") {
+        design_names = {"ideal",   "baseline512", "baseline16k",
+                        "baseline_large_tlb", "vc", "vc_opt",
+                        "l1vc32",  "l1vc128", "base2mb",
+                        "basecoalesced", "basevictima"};
+    } else {
+        design_names = splitList(designs_spec);
+    }
+    std::vector<MmuDesign> designs;
+    for (const auto &name : design_names)
+        designs.push_back(parseDesign(name));
+    if (designs.empty())
+        fatal("no designs selected");
+
+    CostModel model = CostModel::uniform();
+    if (!cost_model_path.empty()) {
+        std::string err;
+        if (!model.load(cost_model_path, &err))
+            fatal(err);
+        std::printf("cost model: %s (%zu measured cells, digest "
+                    "%016llx)\n",
+                    cost_model_path.c_str(), model.measuredCells(),
+                    static_cast<unsigned long long>(model.digest()));
+    } else {
+        std::printf("cost model: uniform (every cell 1.0)\n");
+    }
+
+    // Canonical grid order (workload-major, design-minor), exactly as
+    // gvc_sweep expands it.
+    std::vector<double> costs;
+    std::vector<std::string> cell_names;
+    for (const auto &w : workloads) {
+        for (const MmuDesign d : designs) {
+            costs.push_back(model.costFor(w, designName(d)));
+            cell_names.push_back(w + " x " + designName(d));
+        }
+    }
+
+    std::vector<double> loads(shard_count, 0.0);
+    std::vector<unsigned> assignment;
+    if (modulo) {
+        assignment.resize(costs.size());
+        for (std::size_t i = 0; i < costs.size(); ++i) {
+            assignment[i] = unsigned(i % shard_count);
+            loads[assignment[i]] += costs[i];
+        }
+    } else {
+        assignment = planShards(costs, shard_count, &loads);
+    }
+
+    TextTable cells({"#", "cell", "cost", "shard"});
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+        cells.addRow({std::to_string(i), cell_names[i],
+                      fmtDouble(costs[i], 2),
+                      std::to_string(assignment[i])});
+    }
+    cells.print();
+
+    double total = 0.0, max_load = 0.0;
+    for (const double l : loads) {
+        total += l;
+        max_load = std::max(max_load, l);
+    }
+    const double ideal = total / double(shard_count);
+    std::printf("\nassignment: %s, %zu cells over %u shard%s\n",
+                modulo ? "modulo" : "lpt", costs.size(), shard_count,
+                shard_count == 1 ? "" : "s");
+    TextTable shards({"shard", "cells", "load", "vs ideal"});
+    for (unsigned s = 0; s < shard_count; ++s) {
+        std::size_t n = 0;
+        for (const unsigned a : assignment)
+            n += a == s;
+        shards.addRow({std::to_string(s), std::to_string(n),
+                       fmtDouble(loads[s], 2),
+                       fmtDouble(ideal > 0.0 ? loads[s] / ideal : 1.0,
+                                 3)});
+    }
+    shards.print();
+    std::printf("\nmakespan %s (ideal %s, %.1f%% over)\n",
+                fmtDouble(max_load, 2).c_str(),
+                fmtDouble(ideal, 2).c_str(),
+                ideal > 0.0 ? (max_load / ideal - 1.0) * 100.0 : 0.0);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(1);
+    const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h")
+        usage(0);
+    if (cmd == "journal")
+        return cmdJournal(argc - 2, argv + 2);
+    if (cmd == "shards")
+        return cmdShards(argc - 2, argv + 2);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    usage(1);
+}

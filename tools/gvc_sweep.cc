@@ -14,7 +14,19 @@
  * satisfies idx % N == I, and stamps the shard position into the JSON
  * export.  Run every shard (any host, any order), then combine the
  * per-shard JSON files with `gvc_merge` — the merged document is
- * byte-identical to an unsharded run of the full grid.
+ * byte-identical to an unsharded run of the full grid.  `--balance`
+ * replaces the modulo stripe with cost-balanced LPT bin packing driven
+ * by `--cost-model FILE` (a gvc_bench report, sweep journal, or sweep
+ * results JSON; uniform costs without one), so shards finish together
+ * instead of the slowest cell-count stripe gating the fleet; every
+ * shard of one grid must use the same flags (gvc_merge checks the
+ * stamped assignment + cost-model digest).
+ *
+ * Checkpoint/resume: `--journal FILE.gvcj` appends every completed
+ * cell to a crash-safe journal (harness/journal.hh); after an
+ * interruption, `--resume FILE.gvcj` (with the same grid flags) skips
+ * the journaled cells, finishes the rest, and exports byte-identically
+ * to an uninterrupted run.
  *
  * Design names accept both the gvc_run spelling (vc-opt) and
  * underscore/concatenated forms (vc_opt, baseline512).
@@ -26,9 +38,13 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "harness/cli.hh"
+#include "harness/journal.hh"
+#include "harness/plan.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
 
@@ -48,6 +64,11 @@ struct Options
     unsigned jobs = 0; ///< 0 = defaultJobs().
     std::string json_path;
     std::string csv_path;
+    std::string journal_path; ///< --journal: start a fresh checkpoint.
+    std::string resume_path;  ///< --resume: continue a prior journal.
+    std::string cost_model_path; ///< --cost-model (implies --balance).
+    bool balance = false;     ///< LPT shard assignment instead of modulo.
+    std::size_t max_cells = 0; ///< Cap unique simulations (0 = all).
     bool quiet = false;
     bool print_table = true;
     bool live = false; ///< Regenerate per cell instead of trace replay.
@@ -69,6 +90,19 @@ usage(int code)
         "      --shard I/N         run grid cells with index %% N == I\n"
         "                          (0 <= I < N); merge the per-shard\n"
         "                          JSON exports with gvc_merge\n"
+        "      --balance           assign cells to shards by LPT cost\n"
+        "                          balancing instead of modulo striping\n"
+        "                          (same flags on every shard)\n"
+        "      --cost-model FILE   per-cell costs for --balance: a\n"
+        "                          gvc_bench report, .gvcj journal, or\n"
+        "                          sweep results JSON (default: uniform;\n"
+        "                          implies --balance)\n"
+        "      --journal FILE      checkpoint each completed cell into\n"
+        "                          FILE (.gvcj), overwriting it\n"
+        "      --resume FILE       skip cells already in FILE, append\n"
+        "                          the rest (same grid flags required)\n"
+        "      --max-cells N       stop after N unique simulations and\n"
+        "                          skip export (test/CI interruption)\n"
         "      --json PATH         write JSON results ('-' = stdout)\n"
         "      --csv PATH          write CSV results ('-' = stdout)\n"
         "      --iommu-bw F        shared TLB accesses/cycle override\n"
@@ -142,6 +176,17 @@ parse(int argc, char **argv)
             std::string err;
             if (!parseShardSpec(need(i), opt.shard, &err))
                 fatal("--shard: " + err);
+        } else if (a == "--balance") {
+            opt.balance = true;
+        } else if (a == "--cost-model") {
+            opt.cost_model_path = need(i);
+            opt.balance = true;
+        } else if (a == "--journal") {
+            opt.journal_path = need(i);
+        } else if (a == "--resume") {
+            opt.resume_path = need(i);
+        } else if (a == "--max-cells") {
+            opt.max_cells = parseU64("--max-cells", need(i));
         } else if (a == "--json") {
             opt.json_path = need(i);
         } else if (a == "--csv") {
@@ -212,6 +257,9 @@ parse(int argc, char **argv)
     }
     if (opt.designs.empty())
         fatal("no designs selected");
+    if (!opt.journal_path.empty() && !opt.resume_path.empty())
+        fatal("--journal starts a fresh checkpoint and --resume "
+              "continues one; pass exactly one of them");
     return opt;
 }
 
@@ -247,25 +295,147 @@ main(int argc, char **argv)
         sweep.setProgress(false);
     if (opt.live)
         sweep.setCapture(false);
+    if (opt.max_cells)
+        sweep.setCellLimit(opt.max_cells);
 
-    // Expand the grid in canonical order (workload-major, design-
-    // minor), carry each design's structural intent into raw-mode
-    // cells, and keep only this shard's stripe of the cell indices.
-    std::size_t cell = 0;
+    // Expand the full grid in canonical order (workload-major,
+    // design-minor), carrying each design's structural intent into
+    // raw-mode cells.  Every invocation sees the whole grid so shard
+    // assignment and journal keys are invocation-independent.
+    struct GridCell
+    {
+        std::string workload;
+        RunConfig cfg;
+        std::string key;
+    };
+    std::vector<GridCell> grid;
     for (const auto &w : opt.workloads) {
         for (const MmuDesign d : opt.designs) {
-            const bool mine =
-                cell % opt.shard.count == opt.shard.index;
-            ++cell;
-            if (!mine)
-                continue;
             RunConfig cfg = opt.base;
             cfg.design = d;
             applyRawDesignIntent(cfg, opt.raw_set);
-            sweep.add(w, cfg);
+            grid.push_back({w, cfg, runConfigKey(w, cfg)});
         }
     }
+
+    // Shard assignment: cost-balanced LPT when requested, else the
+    // classic modulo stripe.
+    CostModel cost_model = CostModel::uniform();
+    if (!opt.cost_model_path.empty()) {
+        std::string err;
+        if (!cost_model.load(opt.cost_model_path, &err))
+            fatal(err);
+        if (!opt.quiet) {
+            std::fprintf(stderr,
+                         "[gvc_sweep] cost model '%s': %zu measured "
+                         "cells\n",
+                         opt.cost_model_path.c_str(),
+                         cost_model.measuredCells());
+        }
+    }
+    std::vector<unsigned> assignment(grid.size(), 0);
+    if (opt.balance) {
+        std::vector<double> costs;
+        costs.reserve(grid.size());
+        for (const GridCell &c : grid)
+            costs.push_back(cost_model.costFor(c.workload,
+                                               designName(c.cfg.design)));
+        assignment = planShards(costs, opt.shard.count);
+    } else {
+        for (std::size_t i = 0; i < grid.size(); ++i)
+            assignment[i] = unsigned(i % opt.shard.count);
+    }
+
+    ExportMeta meta;
+    meta.workloads = opt.workloads;
+    meta.designs = opt.design_labels;
+    meta.scale = opt.base.workload.scale;
+    meta.seed = opt.base.workload.seed;
+    meta.jobs = sweep.jobs();
+    meta.shard_index = opt.shard.index;
+    meta.shard_count = opt.shard.count;
+    if (opt.balance) {
+        meta.shard_assignment = "lpt";
+        meta.shard_cost_digest = cost_model.digest();
+    }
+
+    // This shard's cells, in canonical order; mine[i] is the grid
+    // cell behind the sweep's cell i (its key names it in the
+    // journal, its cfg rides along in journaled records).
+    std::vector<const GridCell *> mine;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (assignment[i] != opt.shard.index)
+            continue;
+        sweep.add(grid[i].workload, grid[i].cfg);
+        mine.push_back(&grid[i]);
+    }
+
+    // Checkpoint journal: seed already-completed cells on resume, then
+    // append every newly completed cell from the sweep's cell hook.
+    JournalWriter journal;
+    std::unordered_set<std::string> journaled;
+    if (!opt.resume_path.empty()) {
+        std::string err;
+        ExportMeta jmeta;
+        std::vector<JournalEntry> entries;
+        if (!readJournal(opt.resume_path, jmeta, entries, &err))
+            fatal(err);
+        if (!journalMatchesGrid(jmeta, meta, &err))
+            fatal(err);
+        std::unordered_map<std::string, const JournalEntry *> by_key;
+        for (const JournalEntry &e : entries)
+            by_key[e.key] = &e;
+        std::size_t seeded = 0;
+        for (std::size_t i = 0; i < mine.size(); ++i) {
+            const auto it = by_key.find(mine[i]->key);
+            if (it == by_key.end())
+                continue;
+            sweep.seedResult(i, it->second->record.result);
+            journaled.insert(mine[i]->key);
+            ++seeded;
+        }
+        if (!opt.quiet) {
+            std::fprintf(stderr,
+                         "[gvc_sweep] resume '%s': %zu of %zu cells "
+                         "already done\n",
+                         opt.resume_path.c_str(), seeded, mine.size());
+        }
+        if (!journal.openAppend(opt.resume_path, &err))
+            fatal(err);
+    } else if (!opt.journal_path.empty()) {
+        std::string err;
+        if (!journal.create(opt.journal_path, meta, &err))
+            fatal(err);
+    }
+    if (journal.isOpen()) {
+        sweep.setCellHook([&](std::size_t idx, const RunResult &result) {
+            // Duplicate cells share a key; journal each key once (the
+            // hook is already serialized by the sweep).
+            if (!journaled.insert(mine[idx]->key).second)
+                return;
+            std::string err;
+            if (!journal.append(mine[idx]->key,
+                                ResultRecord{mine[idx]->cfg, result},
+                                &err))
+                fatal(err);
+        });
+    }
+
     sweep.run();
+
+    // A cell limit may leave the sweep incomplete on purpose; report
+    // and stop before the table/export layers (which require a full
+    // grid) — the journal already holds everything that finished.
+    const std::size_t done = sweep.records().size();
+    if (done < sweep.size()) {
+        std::fprintf(stderr,
+                     "[gvc_sweep] interrupted: %zu of %zu cells "
+                     "complete; rerun with --resume %s to finish\n",
+                     done, sweep.size(),
+                     journal.isOpen() ? journal.path().c_str()
+                                      : "<journal>");
+        return 0;
+    }
 
     if (opt.print_table) {
         TextTable table({"workload", "design", "exec cycles",
@@ -284,22 +454,15 @@ main(int argc, char **argv)
                     sweep.size(), sweep.uniqueRuns(),
                     sweep.size() - sweep.uniqueRuns(), sweep.jobs());
         if (opt.shard.count > 1) {
-            std::printf("shard %u/%u of a %zu-cell grid\n",
-                        opt.shard.index, opt.shard.count, cell);
+            std::printf("shard %u/%u (%s) of a %zu-cell grid\n",
+                        opt.shard.index, opt.shard.count,
+                        opt.balance ? "lpt" : "modulo", grid.size());
         }
     }
 
     if (!opt.json_path.empty() || !opt.csv_path.empty()) {
         const std::vector<ResultRecord> records = sweep.records();
         if (!opt.json_path.empty()) {
-            ExportMeta meta;
-            meta.workloads = opt.workloads;
-            meta.designs = opt.design_labels;
-            meta.scale = opt.base.workload.scale;
-            meta.seed = opt.base.workload.seed;
-            meta.jobs = sweep.jobs();
-            meta.shard_index = opt.shard.index;
-            meta.shard_count = opt.shard.count;
             writeOut(opt.json_path,
                      resultsToJson(meta, records).dump(2) + "\n",
                      "JSON");
