@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Dead-entry-aware TLB policies vs the default LRU/install-all stack:
+ * how many TLB residencies die without a single re-reference ("Dead on
+ * Arrival"), and how much IOMMU translation traffic the RRIP family
+ * and the trained dead-entry bypass remove?  Graph workloads thrash
+ * the 32-entry per-CU TLBs hardest, so that is where the predictor
+ * bites; the l1vc-32 row shows the policy curing the documented
+ * warm-run pathology of the tiny L1-only virtual cache.
+ *
+ *   ./build/examples/fig_dead [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "mmu/boundary.hh"
+
+using namespace gvc;
+
+namespace
+{
+
+struct Policy
+{
+    const char *label;
+    unsigned replacement;
+    unsigned fill;
+};
+
+const std::vector<Policy> kPolicies = {
+    {"lru/install-all", kTlbReplLru, kTlbFillLru},
+    {"srrip", kTlbReplSrrip, kTlbFillLru},
+    {"drrip", kTlbReplDrrip, kTlbFillLru},
+    {"lru/bypass-trained", kTlbReplLru, kTlbFillBypassTrained},
+};
+
+RunConfig
+configOf(MmuDesign d, const Policy &p, double scale)
+{
+    RunConfig cfg;
+    cfg.design = d;
+    cfg.workload.scale = scale;
+    cfg.soc.tlb_replacement = p.replacement;
+    cfg.soc.percu_tlb_fill_policy = p.fill;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+    const std::vector<std::string> workloads = {"pagerank", "bfs",
+                                                "hotspot"};
+
+    std::printf("gvc dead-entry policies: dead fraction and IOMMU "
+                "traffic vs LRU/install-all (scale %.2f)\n\n",
+                scale);
+
+    for (const auto &w : workloads) {
+        std::uint64_t base_iommu = 0;
+        TextTable t({"policy", "dead frac", "retired", "IOMMU acc",
+                     "reduction", "bypasses", "pred hit rate"});
+        for (const Policy &p : kPolicies) {
+            const RunResult r = runWorkload(
+                w, configOf(MmuDesign::kBaseline512, p, scale));
+            if (p.fill == kTlbFillLru && p.replacement == kTlbReplLru)
+                base_iommu = r.iommu_accesses;
+            const double cut =
+                base_iommu ? 1.0 - double(r.iommu_accesses) /
+                                       double(base_iommu)
+                           : 0.0;
+            const std::uint64_t scored =
+                r.tlb_pred_true_pos + r.tlb_pred_false_pos;
+            t.addRow({p.label,
+                      TextTable::pct(r.percu_tlb_refs.deadFraction(),
+                                     1),
+                      std::to_string(r.percu_tlb_refs.retired),
+                      std::to_string(r.iommu_accesses),
+                      TextTable::pct(cut, 1),
+                      std::to_string(r.tlb_fill_bypasses),
+                      scored ? TextTable::pct(
+                                   double(r.tlb_pred_true_pos) /
+                                       double(scored),
+                                   1)
+                             : std::string("-")});
+        }
+        std::printf("-- %s on Baseline 512 --\n", w.c_str());
+        t.print();
+        std::printf("\n");
+    }
+
+    // The warm-run pathology: on the tiny L1-only VC, warm launches
+    // cost MORE IOMMU traffic than cold under LRU (the virtual L1
+    // filters the hot references out of the translation stream); the
+    // trained bypass flips the sign.
+    std::printf("-- l1vc-32 warm-run pathology (pagerank, 3 launches, "
+                "keep-all) --\n");
+    TextTable warm({"policy", "cold IOMMU", "warm 2nd", "warm 3rd",
+                    "warm vs cold"});
+    for (const Policy &p : {kPolicies[0], kPolicies[3]}) {
+        ScenarioSpec spec;
+        spec.rounds = 3;
+        spec.boundary = BoundaryPolicy::keepAll();
+        const RunResult r = runScenario(
+            "pagerank", configOf(MmuDesign::kL1Vc32, p, scale), spec);
+        const std::uint64_t cold = r.kernels[0].iommu_accesses;
+        const std::uint64_t w2 = r.kernels[1].iommu_accesses;
+        warm.addRow({p.label, std::to_string(cold),
+                     std::to_string(w2),
+                     std::to_string(r.kernels[2].iommu_accesses),
+                     cold ? TextTable::fmt(double(w2) / double(cold), 2)
+                          : std::string("-")});
+    }
+    warm.print();
+
+    std::printf(
+        "\nRRIP keeps thrash streams from flushing reused entries;\n"
+        "the trained bypass stops dead-on-arrival fills from entering\n"
+        "at all (and prefers predicted-dead victims), cutting both the\n"
+        "dead population and shared-TLB traffic.\n");
+    return 0;
+}

@@ -100,6 +100,21 @@ runCell(const BenchConfig &cfg, const BenchOptions &opts)
         return BenchCounters::fromResult(
             runScenario(cfg.workload, cellConfig(cfg, opts), spec));
     }
+    if (cfg.mode == "policy-srrip" || cfg.mode == "policy-drrip" ||
+        cfg.mode == "policy-bypass") {
+        // Dead-entry-aware TLB policy cells: a cold run with the
+        // policy knobs set on top of the design's config, so the RRIP
+        // victim-selection and predictor/bypass paths stay on the
+        // perf trajectory.
+        RunConfig rc = cellConfig(cfg, opts);
+        if (cfg.mode == "policy-srrip")
+            rc.soc.tlb_replacement = kTlbReplSrrip;
+        else if (cfg.mode == "policy-drrip")
+            rc.soc.tlb_replacement = kTlbReplDrrip;
+        else
+            rc.soc.percu_tlb_fill_policy = kTlbFillBypassTrained;
+        return BenchCounters::fromResult(runWorkload(cfg.workload, rc));
+    }
     if (cfg.mode == "tenants") {
         // Multi-tenant contention cell: '+'-separated tenant workloads
         // under the stressful end of the scheduler knobs (per-ASID
@@ -210,6 +225,15 @@ benchMatrix()
          {MmuDesign::kBase2MB, MmuDesign::kBaseCoalesced,
           MmuDesign::kBaseVictima})
         matrix.push_back(BenchConfig{"cold", "pagerank", designName(d)});
+    // Dead-entry-aware TLB policies: RRIP replacement on the
+    // shared-TLB-bound baseline, the trained dead-entry bypass on the
+    // design whose TLB thrash it attacks (l1vc-32).
+    matrix.push_back(BenchConfig{"policy-srrip", "pagerank",
+                                 designName(MmuDesign::kBaseline512)});
+    matrix.push_back(BenchConfig{"policy-drrip", "bfs",
+                                 designName(MmuDesign::kBaseline512)});
+    matrix.push_back(BenchConfig{"policy-bypass", "pagerank",
+                                 designName(MmuDesign::kL1Vc32)});
     return matrix;
 }
 

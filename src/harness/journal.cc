@@ -115,6 +115,7 @@ metaToJson(const ExportMeta &meta)
     j.set("shard_count", Json(meta.shard_count));
     j.set("assignment", meta.shard_assignment);
     j.set("cost_digest", hexU64(meta.shard_cost_digest));
+    j.set("tlb_policy", meta.tlb_policy);
     return j;
 }
 
@@ -192,6 +193,14 @@ metaFromJson(const Json &j, ExportMeta &meta, std::string &err)
     if (!parseHexU64(digest, meta.shard_cost_digest)) {
         err = "journal meta.cost_digest: expected 16 lowercase hex digits";
         return false;
+    }
+    // Absent in pre-policy-axis journals; those ran the defaults.
+    if (const Json *tp = j.find("tlb_policy")) {
+        if (!tp->isString()) {
+            err = "journal meta.tlb_policy: expected a string";
+            return false;
+        }
+        meta.tlb_policy = tp->asString();
     }
     return true;
 }
@@ -452,6 +461,14 @@ journalMatchesGrid(const ExportMeta &journal, const ExportMeta &run,
                     "'");
     if (journal.shard_cost_digest != run.shard_cost_digest)
         return fail("cost-model digest differs");
+    if (journal.tlb_policy != run.tlb_policy)
+        return fail("tlb policy axis '" +
+                    (journal.tlb_policy.empty() ? std::string("default")
+                                                : journal.tlb_policy) +
+                    "' vs '" +
+                    (run.tlb_policy.empty() ? std::string("default")
+                                            : run.tlb_policy) +
+                    "'");
     return true;
 }
 

@@ -504,7 +504,14 @@ Json::parse(const std::string &text, std::string *err)
     X(large_page_walks)                                                 \
     X(victima_stashes)                                                  \
     X(victima_probes)                                                   \
-    X(victima_hits)
+    X(victima_hits)                                                     \
+    X(tlb_dead_first_evictions)                                         \
+    X(tlb_pred_true_pos)                                                \
+    X(tlb_pred_false_pos)                                               \
+    X(iommu_fill_bypasses)                                              \
+    X(iommu_dead_first_evictions)                                       \
+    X(iommu_pred_true_pos)                                              \
+    X(iommu_pred_false_pos)
 
 #define GVC_RUNRESULT_F64_FIELDS(X)                                     \
     X(lines_per_mem_inst)                                               \
@@ -522,6 +529,27 @@ Json::parse(const std::string &text, std::string *err)
     X(miss_l1_hit)                                                      \
     X(miss_l2_hit)                                                      \
     X(miss_l2_miss)
+
+std::string
+tlbPolicyStamp(const SocConfig &soc)
+{
+    std::string stamp;
+    const auto add = [&](const std::string &part) {
+        if (!stamp.empty())
+            stamp += ',';
+        stamp += part;
+    };
+    if (soc.tlb_replacement != kTlbReplLru)
+        add(std::string("repl=") +
+            tlbReplacementName(soc.tlb_replacement));
+    if (soc.percu_tlb_fill_policy != kTlbFillLru)
+        add(std::string("fill=") +
+            tlbFillPolicyName(soc.percu_tlb_fill_policy));
+    if (soc.iommu_tlb_fill_policy != kTlbFillLru)
+        add(std::string("iommu-fill=") +
+            tlbFillPolicyName(soc.iommu_tlb_fill_policy));
+    return stamp;
+}
 
 Json
 socConfigToJson(const SocConfig &soc)
@@ -585,6 +613,10 @@ socConfigToJson(const SocConfig &soc)
     // configurations keep their exact serialized form.
     if (soc.percu_tlb_fill_policy != kTlbFillLru)
         j.set("percu_tlb_fill_policy", soc.percu_tlb_fill_policy);
+    if (soc.iommu_tlb_fill_policy != kTlbFillLru)
+        j.set("iommu_tlb_fill_policy", soc.iommu_tlb_fill_policy);
+    if (soc.tlb_replacement != kTlbReplLru)
+        j.set("tlb_replacement", soc.tlb_replacement);
     if (soc.tlb_max_reach)
         j.set("tlb_max_reach", soc.tlb_max_reach);
     if (soc.tlb_merge_on_insert)
@@ -756,6 +788,10 @@ resultsToJson(const ExportMeta &meta,
     grid.set("scale", meta.scale);
     grid.set("seed", meta.seed);
     grid.set("jobs", meta.jobs);
+    // The policy-axis stamp only appears for non-default TLB policies,
+    // so classic exports stay byte-identical.
+    if (!meta.tlb_policy.empty())
+        grid.set("tlb_policy", meta.tlb_policy);
     if (meta.shard_count > 1) {
         Json shard = Json::object();
         shard.set("index", meta.shard_index);
@@ -1013,6 +1049,10 @@ socConfigFromJson(Importer &imp, const Json &j, const std::string &ctx,
         return false;
     if (!imp.optUnsigned(j, "percu_tlb_fill_policy", ctx,
                          soc.percu_tlb_fill_policy) ||
+        !imp.optUnsigned(j, "iommu_tlb_fill_policy", ctx,
+                         soc.iommu_tlb_fill_policy) ||
+        !imp.optUnsigned(j, "tlb_replacement", ctx,
+                         soc.tlb_replacement) ||
         !imp.optUnsigned(j, "tlb_max_reach", ctx, soc.tlb_max_reach) ||
         !imp.optBool(j, "tlb_merge_on_insert", ctx,
                      soc.tlb_merge_on_insert) ||
@@ -1349,6 +1389,14 @@ resultsFromJson(const Json &doc, ExportMeta &meta,
         !imp.getU64(*grid, "seed", "grid", meta.seed) ||
         !imp.getUnsigned(*grid, "jobs", "grid", meta.jobs))
         return done(false);
+    if (grid->find("tlb_policy")) {
+        if (!imp.getString(*grid, "tlb_policy", "grid",
+                           meta.tlb_policy))
+            return done(false);
+        if (meta.tlb_policy.empty())
+            return done(imp.fail("grid.tlb_policy: expected a "
+                                 "non-empty policy stamp"));
+    }
     if (grid->find("shard")) {
         const Json *shard = imp.getObject(*grid, "shard", "grid");
         if (!shard ||
@@ -1474,6 +1522,17 @@ mergeResults(const std::vector<Json> &shards, Json &merged,
             if (m.seed != meta.seed)
                 return fail(who + ": workload seed differs from "
                             "shard 0");
+            if (m.tlb_policy != meta.tlb_policy)
+                return fail(who + ": tlb policy axis '" +
+                            (m.tlb_policy.empty() ? "default"
+                                                  : m.tlb_policy) +
+                            "' differs from shard 0's '" +
+                            (meta.tlb_policy.empty()
+                                 ? "default"
+                                 : meta.tlb_policy) +
+                            "' (shards swept under different TLB "
+                            "policies measure different machines and "
+                            "cannot merge)");
             if (m.shard_count != meta.shard_count)
                 return fail(who + ": shard count " +
                             std::to_string(m.shard_count) +

@@ -174,12 +174,28 @@ struct ExportMeta
     std::string shard_assignment;
     std::uint64_t shard_cost_digest = 0;
     /**
+     * TLB policy axis the whole grid ran under: empty for the default
+     * LRU/install-all policies (never emitted, so classic exports keep
+     * their exact serialized form), otherwise a canonical stamp such
+     * as "repl=srrip,fill=bypass-trained" (see gvc_sweep).  Shards of
+     * different policy axes measure different machines; gvc_merge
+     * refuses to merge them.
+     */
+    std::string tlb_policy;
+    /**
      * Version of the document this meta was imported from (set by
      * resultsFromJson).  Export ignores it: resultsToJson derives the
      * version from whether the records carry per-kernel stats.
      */
     int schema_version = kResultsSchemaVersion;
 };
+
+/**
+ * Canonical ExportMeta::tlb_policy stamp for a SocConfig: "" when every
+ * TLB policy knob is at its default, otherwise the non-default knobs as
+ * "repl=<r>,fill=<f>,iommu-fill=<g>" (each component only when set).
+ */
+std::string tlbPolicyStamp(const SocConfig &soc);
 
 /** Serialize a full SocConfig (every simulation-relevant field). */
 Json socConfigToJson(const SocConfig &soc);

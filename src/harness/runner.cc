@@ -131,6 +131,9 @@ runSource(trace::KernelSource &source, const RunConfig &cfg,
         r.tlb_reach_fills = b->tlbReachFills();
         r.tlb_merges = b->tlbMerges();
         r.tlb_fill_bypasses = b->tlbFillBypasses();
+        r.tlb_dead_first_evictions = b->tlbDeadFirstEvictions();
+        r.tlb_pred_true_pos = b->tlbPredTruePos();
+        r.tlb_pred_false_pos = b->tlbPredFalsePos();
         r.victima_stashes = b->victimaStashes();
         r.victima_probes = b->victimaProbes();
         r.victima_hits = b->victimaHits();
@@ -161,6 +164,10 @@ runSource(trace::KernelSource &source, const RunConfig &cfg,
             r.tlb_reach_fills += l->perCuTlb(cu).reachFills();
             r.tlb_merges += l->perCuTlb(cu).merges();
             r.tlb_fill_bypasses += l->perCuTlb(cu).fillBypasses();
+            r.tlb_dead_first_evictions +=
+                l->perCuTlb(cu).deadFirstEvictions();
+            r.tlb_pred_true_pos += l->perCuTlb(cu).predTruePos();
+            r.tlb_pred_false_pos += l->perCuTlb(cu).predFalsePos();
         }
         r.l1_accesses = l1_acc;
         r.l2_accesses = l->caches().l2().accesses();
@@ -197,6 +204,10 @@ runSource(trace::KernelSource &source, const RunConfig &cfg,
         r.iommu_reach_fills = io->tlb().reachFills();
         r.iommu_coalesced_fills = io->coalescedFills();
         r.large_page_walks = io->ptw().largeWalks();
+        r.iommu_fill_bypasses = io->tlb().fillBypasses();
+        r.iommu_dead_first_evictions = io->tlb().deadFirstEvictions();
+        r.iommu_pred_true_pos = io->tlb().predTruePos();
+        r.iommu_pred_false_pos = io->tlb().predFalsePos();
         if (r.fbt_second_level_hit_ratio == 0.0 &&
             io->secondLevelLookups() > 0) {
             r.fbt_second_level_hit_ratio =

@@ -103,6 +103,16 @@ struct RunResult
     std::uint64_t victima_probes = 0;        ///< Stash probes on miss.
     std::uint64_t victima_hits = 0;          ///< Probes that hit.
 
+    // --- dead-entry-aware TLB policies (zero under the default
+    //     LRU/install-all policies, so classic exports are unchanged) ---
+    std::uint64_t tlb_dead_first_evictions = 0; ///< Per-CU dead-first.
+    std::uint64_t tlb_pred_true_pos = 0;  ///< Sampled installs, dead.
+    std::uint64_t tlb_pred_false_pos = 0; ///< Sampled installs, reused.
+    std::uint64_t iommu_fill_bypasses = 0;
+    std::uint64_t iommu_dead_first_evictions = 0;
+    std::uint64_t iommu_pred_true_pos = 0;
+    std::uint64_t iommu_pred_false_pos = 0;
+
     /**
      * Per-kernel stat deltas for multi-kernel scenario runs, one entry
      * per kernel (delimited by the source's boundaries).  Empty for

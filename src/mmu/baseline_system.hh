@@ -70,7 +70,8 @@ class BaselineMmuSystem final : public GpuMemInterface
                           cfg.percu_tlb_infinite, cfg.track_lifetimes,
                           cfg.translation_memo, cfg.tlb_max_reach,
                           cfg.tlb_merge_on_insert,
-                          cfg.percu_tlb_fill_policy}));
+                          cfg.percu_tlb_fill_policy,
+                          cfg.tlb_replacement}));
             if (cfg.victima_stash) {
                 tlbs_.back()->setEvictHook(
                     [this](Asid asid, Vpn vpn, Ppn ppn, Perms perms) {
@@ -190,6 +191,36 @@ class BaselineMmuSystem final : public GpuMemInterface
         std::uint64_t n = 0;
         for (const auto &t : tlbs_)
             n += t->fillBypasses();
+        return n;
+    }
+
+    /** Aggregate per-CU dead-first evictions across CUs. */
+    std::uint64_t
+    tlbDeadFirstEvictions() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &t : tlbs_)
+            n += t->deadFirstEvictions();
+        return n;
+    }
+
+    /** Aggregate per-CU predictor true positives across CUs. */
+    std::uint64_t
+    tlbPredTruePos() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &t : tlbs_)
+            n += t->predTruePos();
+        return n;
+    }
+
+    /** Aggregate per-CU predictor false positives across CUs. */
+    std::uint64_t
+    tlbPredFalsePos() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &t : tlbs_)
+            n += t->predFalsePos();
         return n;
     }
 

@@ -328,6 +328,18 @@ class SystemUnderTest
                     return double(b->tlbFillBypasses());
                 });
             }
+            if (b->config().percu_tlb_fill_policy ==
+                kTlbFillBypassTrained) {
+                reg.addScalar("percu_tlb.dead_first_evictions", [b] {
+                    return double(b->tlbDeadFirstEvictions());
+                });
+                reg.addScalar("percu_tlb.pred_true_pos", [b] {
+                    return double(b->tlbPredTruePos());
+                });
+                reg.addScalar("percu_tlb.pred_false_pos", [b] {
+                    return double(b->tlbPredFalsePos());
+                });
+            }
             if (b->config().victima_stash) {
                 reg.addScalar("victima.stashes", [b] {
                     return double(b->victimaStashes());

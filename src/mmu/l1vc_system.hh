@@ -112,7 +112,8 @@ class L1OnlyVcSystem final : public GpuMemInterface
                           cfg.percu_tlb_infinite, cfg.track_lifetimes,
                           cfg.translation_memo, cfg.tlb_max_reach,
                           cfg.tlb_merge_on_insert,
-                          cfg.percu_tlb_fill_policy}));
+                          cfg.percu_tlb_fill_policy,
+                          cfg.tlb_replacement}));
         }
         vm.addPageShootdownListener([this](Asid asid, Vpn vpn) {
             for (unsigned cu = 0; cu < l1s_.size(); ++cu) {

@@ -53,11 +53,20 @@ struct SocConfig
     unsigned percu_tlb_assoc = 0;    ///< 0 = fully associative.
     bool percu_tlb_infinite = false;
     /**
-     * Per-CU TLB fill policy (kTlbFillLru / kTlbFillBypassDead).
-     * Sweepable independently of the design: the bypass predictor
-     * attacks the dead-on-arrival population the TlbRefHist exposes.
+     * Per-CU TLB fill policy (kTlbFillLru / kTlbFillBypassDead /
+     * kTlbFillBypassTrained).  Sweepable independently of the design:
+     * the bypass predictors attack the dead-on-arrival population the
+     * TlbRefHist exposes.
      */
     unsigned percu_tlb_fill_policy = kTlbFillLru;
+    /** Shared IOMMU TLB fill policy (same kTlbFill* values). */
+    unsigned iommu_tlb_fill_policy = kTlbFillLru;
+    /**
+     * TLB replacement policy, both per-CU and shared IOMMU TLBs
+     * (kTlbRepl*: true LRU or the RRIP family).  Orthogonal to the
+     * fill policy and to the design axis.
+     */
+    unsigned tlb_replacement = kTlbReplLru;
     /**
      * Max TLB entry reach, log2 pages (both per-CU and shared IOMMU
      * TLBs); 0 keeps the classic one-page entries, 9 admits full 2 MB
@@ -127,6 +136,8 @@ struct SocConfig
         p.tlb_max_reach = tlb_max_reach;
         p.tlb_merge_on_insert = tlb_merge_on_insert;
         p.coalesce_max_reach = coalesce_max_reach;
+        p.tlb_fill_policy = iommu_tlb_fill_policy;
+        p.tlb_replacement = tlb_replacement;
         return p;
     }
 };

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Sampling-based dead-on-arrival predictor for TLB fills.
+ *
+ * "Dead on Arrival" observes that a large fraction of GPU TLB entries
+ * are never re-referenced between insertion and eviction.  This
+ * predictor learns that population the same way the repo's TlbRefHist
+ * measures it: every completed residency of a reach-0 entry trains a
+ * region-indexed table of 2-bit saturating counters (a region is
+ * 2^kRegionShift consecutive pages of one address space) with the
+ * insert-to-evict outcome — dead (zero re-references) strengthens the
+ * counter, a re-referenced residency weakens it.
+ *
+ * A fill whose region counter has saturated past the threshold is
+ * predicted dead and may be bypassed by the owning TLB.  To keep the
+ * table trainable once a region starts bypassing (a bypassed fill
+ * never retires, so it can never teach us we were wrong), every
+ * kSamplePeriod-th predicted-dead fill is installed anyway as a
+ * *sampled* entry; its retirement outcome both trains the table and
+ * feeds the true/false-positive counters.
+ *
+ * Everything here is deterministic: the table index is a fixed hash,
+ * the sampling cadence a plain counter.  Two TLBs fed the same fill
+ * and retire sequence hold identical predictor state.
+ */
+
+#ifndef GVC_TLB_DEAD_PRED_HH
+#define GVC_TLB_DEAD_PRED_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace gvc
+{
+
+class DeadPredictor
+{
+  public:
+    /** 2-bit saturating counters, one per hashed region. */
+    static constexpr unsigned kTableSize = 256;
+    /** Region granule: pages sharing vpn >> kRegionShift train together. */
+    static constexpr unsigned kRegionShift = 6;
+    /** Counter value at or above which a fill is predicted dead. */
+    static constexpr std::uint8_t kDeadThreshold = 2;
+    static constexpr std::uint8_t kCounterMax = 3;
+    /** Every kSamplePeriod-th predicted-dead fill installs anyway. */
+    static constexpr std::uint64_t kSamplePeriod = 8;
+
+    /** Would a fill of (asid, vpn) be predicted dead on arrival? */
+    bool
+    predictDead(Asid asid, Vpn vpn) const
+    {
+        return table_[index(asid, vpn)] >= kDeadThreshold;
+    }
+
+    /**
+     * Record a completed residency outcome for (asid, vpn):
+     * @p dead is true when the entry was never re-referenced.
+     */
+    void
+    train(Asid asid, Vpn vpn, bool dead)
+    {
+        std::uint8_t &c = table_[index(asid, vpn)];
+        if (dead) {
+            if (c < kCounterMax)
+                ++c;
+        } else if (c > 0) {
+            --c;
+        }
+    }
+
+    /**
+     * Deterministic sampling decision for a predicted-dead fill;
+     * call exactly once per predicted-dead fill.  @return true when
+     * this fill must be installed anyway (as a sampled entry).
+     */
+    bool
+    sampleFill()
+    {
+        return (sample_counter_++ % kSamplePeriod) == 0;
+    }
+
+    void
+    reset()
+    {
+        table_.fill(0);
+        sample_counter_ = 0;
+    }
+
+    /** Table index of (asid, vpn)'s region — exposed for the oracle. */
+    static std::size_t
+    index(Asid asid, Vpn vpn)
+    {
+        std::uint64_t h =
+            (std::uint64_t(asid) << 32) ^ (vpn >> kRegionShift);
+        h ^= h >> 17;
+        h *= 0x9E3779B97F4A7C15ull;
+        h ^= h >> 29;
+        return std::size_t(h % kTableSize);
+    }
+
+  private:
+    std::array<std::uint8_t, kTableSize> table_{};
+    std::uint64_t sample_counter_ = 0;
+};
+
+} // namespace gvc
+
+#endif // GVC_TLB_DEAD_PRED_HH

@@ -77,6 +77,10 @@ struct IommuParams
      * coalesced fill costs no extra memory traffic.  0 disables.
      */
     unsigned coalesce_max_reach = 0;
+    /** Shared-TLB fill policy (kTlbFill*; see tlb/tlb.hh). */
+    unsigned tlb_fill_policy = kTlbFillLru;
+    /** Shared-TLB replacement policy (kTlbRepl*). */
+    unsigned tlb_replacement = kTlbReplLru;
 };
 
 /** Response delivered to the requester. */
@@ -112,7 +116,9 @@ class Iommu
           tlb_(TlbParams{params.tlb_entries, params.tlb_assoc,
                          params.tlb_infinite, false, params.tlb_memo,
                          params.tlb_max_reach,
-                         params.tlb_merge_on_insert}),
+                         params.tlb_merge_on_insert,
+                         params.tlb_fill_policy,
+                         params.tlb_replacement}),
           ptw_(ctx, vm, dram, params.ptw),
           sampler_(params.sample_window),
           port_fp_per_access_(params.unlimited_bw

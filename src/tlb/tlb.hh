@@ -1,8 +1,12 @@
 /**
  * @file
- * Set-associative TLB with true-LRU replacement, ASID tags, optional
- * infinite capacity (for the paper's "infinite" per-CU TLB experiments),
- * and entry-lifetime recording (Figure 12).
+ * Set-associative TLB with a selectable replacement policy (true LRU
+ * or the RRIP family — SRRIP / BRRIP / set-dueling DRRIP), ASID tags,
+ * optional infinite capacity (for the paper's "infinite" per-CU TLB
+ * experiments), entry-lifetime recording (Figure 12), and dead-entry
+ * fill policies: a static next-line bypass and a trained
+ * DeadPredictor bypass with dead-first victim selection
+ * (tlb/dead_pred.hh, "Dead on Arrival").
  *
  * Entries carry an explicit *reach* (log2 of the contiguous 4 KB pages
  * they span, see sim/types.hh): reach 0 is the classic one-page entry,
@@ -30,13 +34,14 @@
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "tlb/dead_pred.hh"
 
 namespace gvc
 {
 
 /** TLB fill policies (TlbParams::fill_policy). */
 enum : unsigned {
-    /** Install every fill, evicting true-LRU (classic). */
+    /** Install every fill (classic). */
     kTlbFillLru = 0,
     /**
      * Bypass fills a static next-line predictor flags as dead on
@@ -46,7 +51,105 @@ enum : unsigned {
      * translations are simply not cached; a later access re-translates.
      */
     kTlbFillBypassDead = 1,
+    /**
+     * Bypass fills a trained DeadPredictor flags as dead on arrival
+     * (region-indexed saturating counters trained on insert-to-evict
+     * outcomes; see tlb/dead_pred.hh), and prefer predicted-dead
+     * zero-reference residents as eviction victims.  Every
+     * DeadPredictor::kSamplePeriod-th predicted-dead fill installs
+     * anyway so the table keeps learning.
+     */
+    kTlbFillBypassTrained = 2,
 };
+
+/** TLB replacement policies (TlbParams::replacement). */
+enum : unsigned {
+    /** True LRU over the set (classic; the repo's historical policy). */
+    kTlbReplLru = 0,
+    /**
+     * Static RRIP: 2-bit re-reference prediction values, insert at 2
+     * ("long"), promote to 0 on hit, evict the lowest-index entry at 3
+     * ("distant"), aging the whole set until one reaches 3.
+     */
+    kTlbReplSrrip = 1,
+    /**
+     * Bimodal RRIP: like SRRIP but inserts at 3, except every 32nd
+     * fill (deterministic counter, not random) inserts at 2 — thrash
+     * protection for reuse distances beyond the set size.
+     */
+    kTlbReplBrrip = 2,
+    /**
+     * Dynamic RRIP: set-dueling between SRRIP and BRRIP.  Sets with
+     * index % 32 == 0 are SRRIP leaders, index % 32 == 1 BRRIP
+     * leaders; a miss-install into a leader set moves a 10-bit PSEL
+     * toward the other policy and follower sets insert with whichever
+     * side PSEL favors.  A TLB with < 2 sets has no BRRIP leader and
+     * degenerates to SRRIP behavior.
+     */
+    kTlbReplDrrip = 3,
+};
+
+/** Canonical spelling of a replacement policy (CLI / JSON / tables). */
+inline const char *
+tlbReplacementName(unsigned r)
+{
+    switch (r) {
+    case kTlbReplLru:
+        return "lru";
+    case kTlbReplSrrip:
+        return "srrip";
+    case kTlbReplBrrip:
+        return "brrip";
+    case kTlbReplDrrip:
+        return "drrip";
+    default:
+        return "?";
+    }
+}
+
+/** Parse a replacement-policy name; returns false on unknown input. */
+inline bool
+tlbReplacementFromName(const std::string &name, unsigned &out)
+{
+    for (unsigned r :
+         {kTlbReplLru, kTlbReplSrrip, kTlbReplBrrip, kTlbReplDrrip}) {
+        if (name == tlbReplacementName(r)) {
+            out = r;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Canonical spelling of a fill policy (CLI / JSON / tables). */
+inline const char *
+tlbFillPolicyName(unsigned p)
+{
+    switch (p) {
+    case kTlbFillLru:
+        return "lru";
+    case kTlbFillBypassDead:
+        return "bypass-dead";
+    case kTlbFillBypassTrained:
+        return "bypass-trained";
+    default:
+        return "?";
+    }
+}
+
+/** Parse a fill-policy name; returns false on unknown input. */
+inline bool
+tlbFillPolicyFromName(const std::string &name, unsigned &out)
+{
+    for (unsigned p :
+         {kTlbFillLru, kTlbFillBypassDead, kTlbFillBypassTrained}) {
+        if (name == tlbFillPolicyName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
 
 /** Configuration for a Tlb instance. */
 struct TlbParams
@@ -81,8 +184,10 @@ struct TlbParams
      * by Exploiting Memory Subregion Contiguity").
      */
     bool merge_on_insert = false;
-    /** Fill policy: kTlbFillLru or kTlbFillBypassDead. */
+    /** Fill policy: one of the kTlbFill* values above. */
     unsigned fill_policy = kTlbFillLru;
+    /** Replacement policy: one of the kTlbRepl* values above. */
+    unsigned replacement = kTlbReplLru;
 };
 
 /** Outcome of a TLB lookup. */
@@ -303,6 +408,7 @@ class Tlb
     void
     insert(Asid asid, Vpn vpn, const TlbLookup &xlate, Tick now)
     {
+        bool sampled = false;
         if (params_.fill_policy == kTlbFillBypassDead &&
             !params_.infinite && xlate.reach == 0) {
             const bool seq = asid == pred_asid_ && vpn == pred_vpn_ + 1;
@@ -312,6 +418,14 @@ class Tlb
                 ++fill_bypasses_;
                 return;
             }
+        } else if (params_.fill_policy == kTlbFillBypassTrained &&
+                   !params_.infinite && xlate.reach == 0 &&
+                   dead_pred_.predictDead(asid, vpn)) {
+            if (!dead_pred_.sampleFill()) {
+                ++fill_bypasses_;
+                return;
+            }
+            sampled = true;
         }
         ++fills_;
         if (params_.infinite) {
@@ -333,7 +447,7 @@ class Tlb
         if (r > 0)
             ++reach_fills_;
         installEntry(asid, base, base_ppn, xlate.perms, xlate.large, r,
-                     now);
+                     now, sampled);
         if (params_.merge_on_insert)
             tryMerge(asid, base, r, now);
     }
@@ -437,6 +551,16 @@ class Tlb
     std::uint64_t merges() const { return merges_.value; }
     /** Fills bypassed by the dead-on-arrival predictor. */
     std::uint64_t fillBypasses() const { return fill_bypasses_.value; }
+    /** Evictions that chose a predicted-dead zero-ref resident first. */
+    std::uint64_t
+    deadFirstEvictions() const
+    {
+        return dead_first_evictions_.value;
+    }
+    /** Sampled predicted-dead installs that retired with zero refs. */
+    std::uint64_t predTruePos() const { return pred_true_pos_.value; }
+    /** Sampled predicted-dead installs that were re-referenced. */
+    std::uint64_t predFalsePos() const { return pred_false_pos_.value; }
 
     double
     missRatio() const
@@ -485,9 +609,14 @@ class Tlb
         Tick inserted;
         Tick last_used;
         std::uint64_t lru;
-        /// Hits after insertion this residency (value-initialized: the
-        /// aggregate-init sites below list only the first 9 members).
+        /// Hits after insertion this residency.
         std::uint32_t refs;
+        /// RRIP re-reference prediction value (makeEntry() sets it
+        /// per the replacement policy).
+        std::uint8_t rrpv;
+        /// Installed despite a dead prediction (a DeadPredictor
+        /// sampling install); its retirement scores the predictor.
+        bool sampled;
     };
 
     /** Infinite-mode entry: the translation plus its residency refs. */
@@ -518,40 +647,115 @@ class Tlb
             ++reach_hits_;
         e.last_used = now;
         e.lru = ++lru_clock_;
+        e.rrpv = 0;
         ++e.refs;
         return TlbLookup{e.ppn + (vpn - e.vpn), e.perms, e.large,
                          e.reach, e.vpn, e.ppn};
     }
 
+    /**
+     * Insertion RRPV for a miss-install into set @p si, resolving
+     * DRRIP's set duel.  Leader-set installs also move PSEL: a miss
+     * in an SRRIP leader is evidence against SRRIP (PSEL up), in a
+     * BRRIP leader evidence against BRRIP (PSEL down); followers use
+     * BRRIP while PSEL > kPselInit.
+     */
+    std::uint8_t
+    insertRrpv(std::size_t si)
+    {
+        unsigned pol = params_.replacement;
+        if (pol == kTlbReplDrrip) {
+            if (si % kDuelPeriod == 0) {
+                if (psel_ < kPselMax)
+                    ++psel_;
+                pol = kTlbReplSrrip;
+            } else if (si % kDuelPeriod == 1) {
+                if (psel_ > 0)
+                    --psel_;
+                pol = kTlbReplBrrip;
+            } else {
+                pol = psel_ > kPselInit ? kTlbReplBrrip
+                                        : kTlbReplSrrip;
+            }
+        }
+        if (pol == kTlbReplSrrip)
+            return kRrpvLong;
+        return (brrip_counter_++ % kBrripPeriod) == 0 ? kRrpvLong
+                                                      : kRrpvMax;
+    }
+
+    /**
+     * Victim way of a full set.  Under the trained fill policy a
+     * predicted-dead zero-reference reach-0 resident goes first; the
+     * replacement policy (true LRU or RRIP aging) breaks the fallback.
+     */
+    std::size_t
+    pickVictim(std::vector<Entry> &set)
+    {
+        if (params_.fill_policy == kTlbFillBypassTrained) {
+            for (std::size_t i = 0; i < set.size(); ++i) {
+                const Entry &e = set[i];
+                if (e.reach == 0 && e.refs == 0 &&
+                    dead_pred_.predictDead(e.asid, e.vpn)) {
+                    ++dead_first_evictions_;
+                    return i;
+                }
+            }
+        }
+        if (params_.replacement == kTlbReplLru) {
+            std::size_t victim = 0;
+            for (std::size_t i = 1; i < set.size(); ++i)
+                if (set[i].lru < set[victim].lru)
+                    victim = i;
+            return victim;
+        }
+        for (;;) {
+            for (std::size_t i = 0; i < set.size(); ++i)
+                if (set[i].rrpv >= kRrpvMax)
+                    return i;
+            for (auto &e : set)
+                ++e.rrpv;
+        }
+    }
+
+    Entry
+    makeEntry(Asid asid, Vpn base, Ppn ppn, Perms perms, bool large,
+              unsigned r, Tick now, std::size_t si, bool sampled)
+    {
+        Entry e{asid, base,        ppn, perms, large, std::uint8_t(r),
+                now,  now, ++lru_clock_, 0,    0,     false};
+        e.rrpv = params_.replacement == kTlbReplLru ? 0 : insertRrpv(si);
+        e.sampled = sampled;
+        return e;
+    }
+
     void
     installEntry(Asid asid, Vpn base, Ppn ppn, Perms perms, bool large,
-                 unsigned r, Tick now)
+                 unsigned r, Tick now, bool sampled = false)
     {
-        auto &set = sets_[setIndex(base, r)];
+        const std::size_t si = setIndex(base, r);
+        auto &set = sets_[si];
         for (auto &e : set) {
             if (e.reach == r && e.asid == asid && e.vpn == base) {
                 e.ppn = ppn;
                 e.perms = perms;
                 e.large = large;
                 e.lru = ++lru_clock_;
+                e.rrpv = 0;
                 return;
             }
         }
         if (set.size() < assoc_) {
-            set.push_back(Entry{asid, base, ppn, perms, large,
-                                std::uint8_t(r), now, now, ++lru_clock_,
-                                0});
+            set.push_back(makeEntry(asid, base, ppn, perms, large, r,
+                                    now, si, sampled));
             ++class_count_[r];
             return;
         }
-        std::size_t victim = 0;
-        for (std::size_t i = 1; i < set.size(); ++i)
-            if (set[i].lru < set[victim].lru)
-                victim = i;
+        const std::size_t victim = pickVictim(set);
         const Entry dying = set[victim];
         retire(dying, now);
-        set[victim] = Entry{asid, base, ppn, perms, large,
-                            std::uint8_t(r), now, now, ++lru_clock_, 0};
+        set[victim] =
+            makeEntry(asid, base, ppn, perms, large, r, now, si, sampled);
         ++class_count_[r];
         if (evict_hook_ && dying.reach == 0)
             evict_hook_(dying.asid, dying.vpn, dying.ppn, dying.perms);
@@ -627,6 +831,17 @@ class Tlb
             lifetimes_.record(now - e.inserted);
         ref_hist_.record(e.refs);
         --class_count_[e.reach];
+        if (params_.fill_policy == kTlbFillBypassTrained &&
+            e.reach == 0) {
+            dead_pred_.train(e.asid, e.vpn, e.refs == 0);
+            if (e.sampled) {
+                // A sampling install scores the prediction it defied.
+                if (e.refs == 0)
+                    ++pred_true_pos_;
+                else
+                    ++pred_false_pos_;
+            }
+        }
     }
 
     TlbParams params_;
@@ -649,6 +864,19 @@ class Tlb
     Asid pred_asid_ = 0;
     Vpn pred_vpn_ = kInvalidVpn;
 
+    /** Trained dead-on-arrival predictor (kTlbFillBypassTrained). */
+    DeadPredictor dead_pred_;
+
+    // RRIP state (kTlbReplSrrip / kTlbReplBrrip / kTlbReplDrrip).
+    static constexpr std::uint8_t kRrpvMax = 3;  ///< "distant future"
+    static constexpr std::uint8_t kRrpvLong = 2; ///< "long interval"
+    static constexpr unsigned kBrripPeriod = 32;
+    static constexpr unsigned kDuelPeriod = 32;
+    static constexpr unsigned kPselMax = 1023; ///< 10-bit saturating
+    static constexpr unsigned kPselInit = 512;
+    unsigned psel_ = kPselInit;
+    std::uint64_t brrip_counter_ = 0;
+
     EvictHookFn evict_hook_;
 
     Counter accesses_;
@@ -660,6 +888,9 @@ class Tlb
     Counter reach_fills_;
     Counter merges_;
     Counter fill_bypasses_;
+    Counter dead_first_evictions_;
+    Counter pred_true_pos_;
+    Counter pred_false_pos_;
     LifetimeRecorder lifetimes_;
     TlbRefHist ref_hist_;
     bool refs_flushed_ = false;

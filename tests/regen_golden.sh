@@ -3,12 +3,13 @@
 # build, in one step so they can never diverge silently:
 #
 #   - tests/golden_stats.txt      (golden-stats regression matrix)
+#   - tests/POLICY_SMOKE_*.json   (TLB policy-axis sweep goldens)
 #   - BENCH_PR<N>.json            (bench counter baseline gated in CI)
 #
 # Run after an intended behavior change, then commit the updated files
 # together with the change that caused it.
 #
-#   tests/regen_golden.sh [path-to-gvc_tests] [path-to-gvc_bench]
+#   tests/regen_golden.sh [gvc_tests] [gvc_bench] [gvc_sweep]
 #
 # The bench regeneration runs the full matrix at scale 1 and takes a
 # few minutes; pass GVC_REGEN_SKIP_BENCH=1 to regenerate only the
@@ -18,6 +19,7 @@ set -e
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 tests_bin="${1:-build/tests/gvc_tests}"
 bench_bin="${2:-build/tools/gvc_bench}"
+sweep_bin="${3:-build/tools/gvc_sweep}"
 
 if [ ! -x "$tests_bin" ]; then
     echo "error: test binary '$tests_bin' not found (build first, or" >&2
@@ -27,6 +29,21 @@ fi
 
 GVC_REGEN_GOLDEN=1 "$tests_bin" --gtest_filter='GoldenStats.*'
 echo "regenerated $(dirname "$0")/golden_stats.txt"
+
+# Policy-axis sweep goldens (CI's policy smoke diffs against these).
+if [ ! -x "$sweep_bin" ]; then
+    echo "error: sweep binary '$sweep_bin' not found (build first, or" >&2
+    echo "pass its path as the third argument)" >&2
+    exit 1
+fi
+smoke_args="--workloads pagerank --designs baseline512,l1vc32 \
+    --scale 0.1 --jobs 2 --quiet --no-table"
+"$sweep_bin" $smoke_args --json "$repo_root/tests/POLICY_SMOKE_LRU.json"
+"$sweep_bin" $smoke_args --tlb-replacement srrip \
+    --json "$repo_root/tests/POLICY_SMOKE_SRRIP.json"
+"$sweep_bin" $smoke_args --tlb-fill-policy bypass-trained \
+    --json "$repo_root/tests/POLICY_SMOKE_BYPASS.json"
+echo "regenerated $repo_root/tests/POLICY_SMOKE_{LRU,SRRIP,BYPASS}.json"
 
 if [ "${GVC_REGEN_SKIP_BENCH:-0}" = 1 ]; then
     echo "skipping bench baseline (GVC_REGEN_SKIP_BENCH=1)"

@@ -34,18 +34,22 @@ TEST(Bench, MatrixShape)
 {
     const auto matrix = benchMatrix();
     // 3 modes x 3 workloads x 3 designs, plus 2 tenant cells, the
-    // sweep config, and 3 cold cells for the reach-generalized designs.
-    EXPECT_EQ(matrix.size(), 33u);
-    unsigned sweeps = 0, tenants = 0;
+    // sweep config, 3 cold cells for the reach-generalized designs,
+    // and 3 dead-entry-aware TLB policy cells.
+    EXPECT_EQ(matrix.size(), 36u);
+    unsigned sweeps = 0, tenants = 0, policies = 0;
     for (const auto &cfg : matrix) {
         EXPECT_FALSE(cfg.name().empty());
         if (cfg.mode == "sweep")
             ++sweeps;
         if (cfg.mode == "tenants")
             ++tenants;
+        if (cfg.mode.rfind("policy-", 0) == 0)
+            ++policies;
     }
     EXPECT_EQ(sweeps, 1u);
     EXPECT_EQ(tenants, 2u);
+    EXPECT_EQ(policies, 3u);
 }
 
 TEST(Bench, ColdCountersMatchPlainRunner)

@@ -59,7 +59,13 @@ usage(int code)
         "      --fbt-entries N     FBT entries (raw mode)\n"
         "      --remap-entries N   synonym remap table entries\n"
         "      --tlb-fill-policy P per-CU TLB fill policy: lru |\n"
-        "                          bypass-dead (predicted-dead bypass)\n"
+        "                          bypass-dead (static next-line) |\n"
+        "                          bypass-trained (trained predictor +\n"
+        "                          dead-first victim selection)\n"
+        "      --iommu-tlb-fill-policy P\n"
+        "                          same policies for the shared IOMMU TLB\n"
+        "      --tlb-replacement R TLB replacement, both levels: lru |\n"
+        "                          srrip | brrip | drrip\n"
         "      --cus N             number of compute units\n"
         "      --kernels N         run the workload N times back-to-back\n"
         "                          on one warm memory system (scenario)\n"
@@ -133,13 +139,24 @@ parse(int argc, char **argv)
                 parseUnsigned("--remap-entries", need(i));
         } else if (a == "--tlb-fill-policy") {
             const std::string name = need(i);
-            if (name == "lru") {
-                opt.cfg.soc.percu_tlb_fill_policy = kTlbFillLru;
-            } else if (name == "bypass-dead") {
-                opt.cfg.soc.percu_tlb_fill_policy = kTlbFillBypassDead;
-            } else {
+            if (!tlbFillPolicyFromName(
+                    name, opt.cfg.soc.percu_tlb_fill_policy)) {
                 fatal("--tlb-fill-policy: unknown policy '" + name +
-                      "' (lru | bypass-dead)");
+                      "' (lru | bypass-dead | bypass-trained)");
+            }
+        } else if (a == "--iommu-tlb-fill-policy") {
+            const std::string name = need(i);
+            if (!tlbFillPolicyFromName(
+                    name, opt.cfg.soc.iommu_tlb_fill_policy)) {
+                fatal("--iommu-tlb-fill-policy: unknown policy '" +
+                      name + "' (lru | bypass-dead | bypass-trained)");
+            }
+        } else if (a == "--tlb-replacement") {
+            const std::string name = need(i);
+            if (!tlbReplacementFromName(name,
+                                        opt.cfg.soc.tlb_replacement)) {
+                fatal("--tlb-replacement: unknown policy '" + name +
+                      "' (lru | srrip | brrip | drrip)");
             }
         } else if (a == "--cus") {
             opt.cfg.soc.gpu.num_cus = parseUnsigned("--cus", need(i));
@@ -290,9 +307,26 @@ main(int argc, char **argv)
                     (unsigned long long)r.victima_probes,
                     (unsigned long long)r.victima_hits);
     }
-    if (r.tlb_fill_bypasses) {
-        std::printf("  fill bypasses           : %llu\n",
-                    (unsigned long long)r.tlb_fill_bypasses);
+    if (r.tlb_fill_bypasses || r.iommu_fill_bypasses) {
+        std::printf("  fill bypasses           : %llu per-CU, %llu "
+                    "IOMMU\n",
+                    (unsigned long long)r.tlb_fill_bypasses,
+                    (unsigned long long)r.iommu_fill_bypasses);
+    }
+    if (r.tlb_dead_first_evictions || r.iommu_dead_first_evictions) {
+        std::printf("  dead-first evictions    : %llu per-CU, %llu "
+                    "IOMMU\n",
+                    (unsigned long long)r.tlb_dead_first_evictions,
+                    (unsigned long long)r.iommu_dead_first_evictions);
+    }
+    if (r.tlb_pred_true_pos || r.tlb_pred_false_pos ||
+        r.iommu_pred_true_pos || r.iommu_pred_false_pos) {
+        std::printf("  dead-pred samples       : per-CU %llu dead / "
+                    "%llu reused, IOMMU %llu / %llu\n",
+                    (unsigned long long)r.tlb_pred_true_pos,
+                    (unsigned long long)r.tlb_pred_false_pos,
+                    (unsigned long long)r.iommu_pred_true_pos,
+                    (unsigned long long)r.iommu_pred_false_pos);
     }
     if (r.fbt_lookups) {
         std::printf("  FBT lookups             : %llu (second-level "

@@ -110,7 +110,13 @@ usage(int code)
         "      --percu-tlb N       per-CU TLB entries (raw mode)\n"
         "      --fbt-entries N     FBT entries (raw mode)\n"
         "      --tlb-fill-policy P per-CU TLB fill policy: lru |\n"
-        "                          bypass-dead (predicted-dead bypass)\n"
+        "                          bypass-dead (static next-line) |\n"
+        "                          bypass-trained (trained predictor +\n"
+        "                          dead-first victim selection)\n"
+        "      --iommu-tlb-fill-policy P\n"
+        "                          same policies for the shared IOMMU TLB\n"
+        "      --tlb-replacement R TLB replacement, both levels: lru |\n"
+        "                          srrip | brrip | drrip\n"
         "      --cus N             number of compute units\n"
         "      --live              regenerate each workload per cell\n"
         "                          instead of capture-once/replay\n"
@@ -211,13 +217,24 @@ parse(int argc, char **argv)
             opt.base.raw_soc = true;
         } else if (a == "--tlb-fill-policy") {
             const std::string name = need(i);
-            if (name == "lru") {
-                opt.base.soc.percu_tlb_fill_policy = kTlbFillLru;
-            } else if (name == "bypass-dead") {
-                opt.base.soc.percu_tlb_fill_policy = kTlbFillBypassDead;
-            } else {
+            if (!tlbFillPolicyFromName(
+                    name, opt.base.soc.percu_tlb_fill_policy)) {
                 fatal("--tlb-fill-policy: unknown policy '" + name +
-                      "' (lru | bypass-dead)");
+                      "' (lru | bypass-dead | bypass-trained)");
+            }
+        } else if (a == "--iommu-tlb-fill-policy") {
+            const std::string name = need(i);
+            if (!tlbFillPolicyFromName(
+                    name, opt.base.soc.iommu_tlb_fill_policy)) {
+                fatal("--iommu-tlb-fill-policy: unknown policy '" +
+                      name + "' (lru | bypass-dead | bypass-trained)");
+            }
+        } else if (a == "--tlb-replacement") {
+            const std::string name = need(i);
+            if (!tlbReplacementFromName(
+                    name, opt.base.soc.tlb_replacement)) {
+                fatal("--tlb-replacement: unknown policy '" + name +
+                      "' (lru | srrip | brrip | drrip)");
             }
         } else if (a == "--cus") {
             opt.base.soc.gpu.num_cus = parseUnsigned("--cus", need(i));
@@ -358,6 +375,7 @@ main(int argc, char **argv)
         meta.shard_assignment = "lpt";
         meta.shard_cost_digest = cost_model.digest();
     }
+    meta.tlb_policy = tlbPolicyStamp(opt.base.soc);
 
     // This shard's cells, in canonical order; mine[i] is the grid
     // cell behind the sweep's cell i (its key names it in the
